@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's design ablations — bloom sizing, replacement, explicit invalidate, ASID."""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_ablation(benchmark, bench_scale):
+    """Reproduce design ablations and assert its shape checks."""
+    run_experiment_benchmark(benchmark, "ablation", bench_scale)

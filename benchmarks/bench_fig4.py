@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's Figure 4 — trampoline rank/frequency curves."""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_fig4(benchmark, bench_scale):
+    """Reproduce Figure 4 and assert its shape checks."""
+    run_experiment_benchmark(benchmark, "fig4", bench_scale)

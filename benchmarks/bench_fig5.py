@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's Figure 5 — percent of trampolines skipped vs ABTB size."""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_fig5(benchmark, bench_scale):
+    """Reproduce Figure 5 and assert its shape checks."""
+    run_experiment_benchmark(benchmark, "fig5", bench_scale)

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's Figure 6 — Apache SPECweb response-time CDFs."""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_fig6(benchmark, bench_scale):
+    """Reproduce Figure 6 and assert its shape checks."""
+    run_experiment_benchmark(benchmark, "fig6", bench_scale)

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's Figure 7 — Memcached GET/SET processing-time histograms."""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_fig7(benchmark, bench_scale):
+    """Reproduce Figure 7 and assert its shape checks."""
+    run_experiment_benchmark(benchmark, "fig7", bench_scale)

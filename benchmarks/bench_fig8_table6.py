@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's Figure 8 + Table 6 — MySQL latency CDFs and percentiles."""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_fig8_table6(benchmark, bench_scale):
+    """Reproduce Figure 8 + Table 6 and assert its shape checks."""
+    run_experiment_benchmark(benchmark, "fig8_table6", bench_scale)

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's Section 5.3 — ABTB storage cost."""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_hwcost(benchmark, bench_scale):
+    """Reproduce Section 5.3 and assert its shape checks."""
+    run_experiment_benchmark(benchmark, "hwcost", bench_scale)

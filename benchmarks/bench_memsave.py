@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's Section 5.5 — memory waste of software patching vs the hardware."""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_memsave(benchmark, bench_scale):
+    """Reproduce Section 5.5 and assert its shape checks."""
+    run_experiment_benchmark(benchmark, "memsave", bench_scale)

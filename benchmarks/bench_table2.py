@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's Table 2 — trampoline instructions per kilo-instruction across the four workloads."""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_table2(benchmark, bench_scale):
+    """Reproduce Table 2 and assert its shape checks."""
+    run_experiment_benchmark(benchmark, "table2", bench_scale)

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's Table 3 — distinct trampolines exercised per workload."""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_table3(benchmark, bench_scale):
+    """Reproduce Table 3 and assert its shape checks."""
+    run_experiment_benchmark(benchmark, "table3", bench_scale)

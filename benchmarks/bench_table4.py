@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's Table 4 — performance-counter PKI, base vs enhanced."""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_table4(benchmark, bench_scale):
+    """Reproduce Table 4 and assert its shape checks."""
+    run_experiment_benchmark(benchmark, "table4", bench_scale)

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the paper's Table 5 — Firefox Peacekeeper scores."""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_table5(benchmark, bench_scale):
+    """Reproduce Table 5 and assert its shape checks."""
+    run_experiment_benchmark(benchmark, "table5", bench_scale)

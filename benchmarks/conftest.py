@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one paper table/figure: it runs the registered
+experiment, prints the paper-style rows, persists them under
+``benchmarks/output/``, and asserts the shape checks.
+
+Scale defaults to ``smoke`` (seconds per experiment); set
+``REPRO_BENCH_SCALE=paper`` for the longer preset used to produce
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.analysis.report import Report
+from repro.experiments import get
+from repro.experiments.scale import PAPER, SMOKE, Scale
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> Scale:
+    """The scale preset benchmarks run at."""
+    return PAPER if os.environ.get("REPRO_BENCH_SCALE") == "paper" else SMOKE
+
+
+def run_experiment_benchmark(benchmark, experiment_id: str, scale: Scale) -> Report:
+    """Run one experiment under pytest-benchmark and persist its report."""
+    experiment = get(experiment_id)
+    report = benchmark.pedantic(lambda: experiment.run(scale), rounds=1, iterations=1)
+    rendered = report.render()
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{experiment_id}.txt").write_text(rendered + "\n")
+    print()
+    print(rendered)
+    failed = [name for name, ok in report.shape_checks.items() if not ok]
+    assert not failed, f"{experiment_id}: failed shape checks: {failed}"
+    return report

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: run one workload on the base and enhanced CPUs.
+
+Builds the Memcached workload model, runs identical instruction traces
+through a baseline CPU and one equipped with the trampoline-skip
+mechanism (ABTB + Bloom filter), and prints the paper's headline
+quantities: trampoline rate, skip rate, counter deltas and speedup.
+
+Usage::
+
+    python examples/quickstart.py [workload]   # apache|firefox|memcached|mysql
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import MechanismConfig, TrampolineSkipMechanism
+from repro.experiments.runner import run_workload
+from repro.workloads import ALL_WORKLOADS
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "memcached"
+    if name not in ALL_WORKLOADS:
+        raise SystemExit(f"unknown workload {name!r}; pick one of {sorted(ALL_WORKLOADS)}")
+    module = ALL_WORKLOADS[name]
+
+    print(f"== {name}: base vs enhanced (256-entry ABTB) ==")
+    results = {}
+    for label, mechanism in (
+        ("base", None),
+        ("enhanced", TrampolineSkipMechanism(MechanismConfig(abtb_entries=256))),
+    ):
+        results[label] = run_workload(
+            module.config(),
+            mechanism,
+            warmup_requests=20,
+            measured_requests=120,
+            label=label,
+        )
+
+    base, enh = results["base"].counters, results["enhanced"].counters
+    print(f"instructions          {base.instructions:>12,} -> {enh.instructions:>12,}")
+    print(f"trampolines executed  {base.trampolines_executed:>12,} -> {enh.trampolines_executed:>12,}")
+    print(f"trampolines skipped   {'-':>12} -> {enh.trampolines_skipped:>12,}")
+    print(f"skip rate             {results['enhanced'].skip_rate:.1%}")
+    print()
+    print(f"{'counter (PKI)':<24}{'base':>10}{'enhanced':>10}")
+    for metric, value in base.table4_row().items():
+        print(f"{metric:<24}{value:>10.3f}{enh.table4_row()[metric]:>10.3f}")
+    print()
+    speedup = base.cycles / enh.cycles
+    print(f"cycles                {base.cycles:>14,.0f} -> {enh.cycles:>14,.0f}")
+    print(f"speedup               {speedup:.4f}x  ({(speedup - 1) * 100:+.2f}%)")
+    storage = results["enhanced"].mechanism.storage_bytes
+    print(f"hardware cost         {storage:,} bytes (ABTB + Bloom filter)")
+
+
+if __name__ == "__main__":
+    main()

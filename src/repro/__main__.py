@@ -1,0 +1,7 @@
+"""Module entry point for ``python -m repro``."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

@@ -1,0 +1,28 @@
+"""Analysis utilities: statistics, CDFs, histograms and reports."""
+
+from repro.analysis.cdf import CDF, dominates
+from repro.analysis.histogram import Histogram
+from repro.analysis.report import Report, Series, Table
+from repro.analysis.stats import (
+    Summary,
+    geomean,
+    improvement_percent,
+    mean,
+    percentile,
+    speedup,
+)
+
+__all__ = [
+    "CDF",
+    "Histogram",
+    "Report",
+    "Series",
+    "Summary",
+    "Table",
+    "dominates",
+    "geomean",
+    "improvement_percent",
+    "mean",
+    "percentile",
+    "speedup",
+]

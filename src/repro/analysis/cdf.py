@@ -1,0 +1,51 @@
+"""Cumulative distribution functions for latency plots (Figures 6 and 8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class CDF:
+    """An empirical CDF: sorted values and cumulative fractions."""
+
+    values: tuple[float, ...]
+    fractions: tuple[float, ...]
+
+    @staticmethod
+    def of(samples) -> "CDF":
+        """Build an empirical CDF from raw samples."""
+        arr = np.sort(np.asarray(list(samples), dtype=np.float64))
+        if arr.size == 0:
+            raise ExperimentError("cannot build a CDF from an empty sample")
+        fractions = np.arange(1, arr.size + 1, dtype=np.float64) / arr.size
+        return CDF(tuple(map(float, arr)), tuple(map(float, fractions)))
+
+    def percentile(self, q: float) -> float:
+        """Value at cumulative fraction ``q`` (0-100)."""
+        if not 0 < q <= 100:
+            raise ExperimentError(f"percentile {q} out of range")
+        index = int(np.searchsorted(np.asarray(self.fractions), q / 100.0))
+        index = min(index, len(self.values) - 1)
+        return self.values[index]
+
+    def fraction_below(self, value: float) -> float:
+        """Fraction of requests served within ``value``."""
+        index = int(np.searchsorted(np.asarray(self.values), value, side="right"))
+        return index / len(self.values)
+
+    def sampled(self, n_points: int = 50) -> list[tuple[float, float]]:
+        """Evenly spaced (value, fraction) points for plotting/printing."""
+        if n_points < 2:
+            raise ExperimentError("need at least 2 points")
+        idx = np.linspace(0, len(self.values) - 1, n_points).astype(int)
+        return [(self.values[i], self.fractions[i]) for i in idx]
+
+
+def dominates(faster: CDF, slower: CDF, quantiles=(50, 75, 90, 95)) -> bool:
+    """True when ``faster`` is at or below ``slower`` at every quantile."""
+    return all(faster.percentile(q) <= slower.percentile(q) for q in quantiles)

@@ -1,0 +1,59 @@
+"""Histogram utilities for the Memcached processing-time plots (Figure 7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """A binned distribution of request processing times.
+
+    Attributes:
+        edges: bin edges (len = bins + 1).
+        counts: per-bin counts.
+    """
+
+    edges: tuple[float, ...]
+    counts: tuple[int, ...]
+
+    @staticmethod
+    def of(samples, bins: int = 40, lo: float | None = None, hi: float | None = None) -> "Histogram":
+        """Histogram ``samples`` into ``bins`` equal-width buckets."""
+        arr = np.asarray(list(samples), dtype=np.float64)
+        if arr.size == 0:
+            raise ExperimentError("cannot histogram an empty sample")
+        lo = float(arr.min()) if lo is None else lo
+        hi = float(arr.max()) if hi is None else hi
+        if hi <= lo:
+            hi = lo + 1.0
+        counts, edges = np.histogram(arr, bins=bins, range=(lo, hi))
+        return Histogram(tuple(map(float, edges)), tuple(map(int, counts)))
+
+    @property
+    def total(self) -> int:
+        """Total samples binned."""
+        return int(sum(self.counts))
+
+    def fractions(self) -> list[float]:
+        """Per-bin fraction of all samples (the paper's y-axis)."""
+        total = self.total or 1
+        return [c / total for c in self.counts]
+
+    def peak_bin(self) -> int:
+        """Index of the most populated bin."""
+        return int(np.argmax(np.asarray(self.counts)))
+
+    def peak_value(self) -> float:
+        """Centre of the most populated bin — Figure 7's 'peak position'."""
+        i = self.peak_bin()
+        return (self.edges[i] + self.edges[i + 1]) / 2.0
+
+    def mode_shift(self, other: "Histogram") -> float:
+        """How far this histogram's peak sits left of ``other``'s (>0 means
+        this distribution is faster)."""
+        return other.peak_value() - self.peak_value()

@@ -1,0 +1,118 @@
+"""Structured experiment outputs: tables and series with paper references.
+
+Every experiment returns a :class:`Report` so the benchmark harness can
+print the same rows the paper does and EXPERIMENTS.md can record
+paper-vs-measured values mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Table:
+    """A printable table with named columns."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"table {self.title!r}: expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        """ASCII-render the table."""
+        cells = [[str(c) for c in self.columns]] + [
+            [_fmt(v) for v in row] for row in self.rows
+        ]
+        widths = [max(len(r[i]) for r in cells) for i in range(len(self.columns))]
+        lines = [self.title, "-" * len(self.title)]
+        header, *body = cells
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+
+@dataclass
+class Series:
+    """A named (x, y) series, e.g. one CDF curve or Figure 5 line."""
+
+    name: str
+    x: list[float]
+    y: list[float]
+
+    def render(self, max_points: int = 12) -> str:
+        """Compact textual rendering of the series."""
+        step = max(1, len(self.x) // max_points)
+        pts = ", ".join(
+            f"({_fmt(a)}, {_fmt(b)})" for a, b in list(zip(self.x, self.y))[::step]
+        )
+        return f"{self.name}: {pts}"
+
+
+@dataclass
+class Report:
+    """One experiment's full output.
+
+    Attributes:
+        experiment_id: registry key, e.g. ``"table4"``.
+        description: what the paper artefact shows.
+        tables: printable tables (paper-style rows).
+        series: plottable series (figures).
+        shape_checks: named boolean assertions that the *shape* of the
+            paper's result holds (who wins, orderings, crossovers).
+        notes: free-form commentary (scaling caveats, substitutions).
+    """
+
+    experiment_id: str
+    description: str
+    tables: list[Table] = field(default_factory=list)
+    series: list[Series] = field(default_factory=list)
+    shape_checks: dict[str, bool] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Full textual rendering for the benchmark harness."""
+        parts = [f"=== {self.experiment_id}: {self.description} ==="]
+        for table in self.tables:
+            parts.append(table.render())
+        for series in self.series:
+            parts.append(series.render())
+        if self.shape_checks:
+            parts.append("shape checks:")
+            for name, ok in self.shape_checks.items():
+                parts.append(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    @property
+    def all_shapes_hold(self) -> bool:
+        """True when every shape check passed."""
+        return all(self.shape_checks.values())
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,67 @@
+"""Small statistics helpers used by the experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+
+def percentile(samples, q: float) -> float:
+    """The ``q``-th percentile (0-100) of a sample list."""
+    if len(samples) == 0:
+        raise ExperimentError("cannot take a percentile of an empty sample")
+    return float(np.percentile(np.asarray(samples, dtype=np.float64), q))
+
+
+def mean(samples) -> float:
+    """Arithmetic mean."""
+    if len(samples) == 0:
+        raise ExperimentError("cannot average an empty sample")
+    return float(np.mean(np.asarray(samples, dtype=np.float64)))
+
+
+def geomean(values) -> float:
+    """Geometric mean of positive values."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if len(arr) == 0 or np.any(arr <= 0):
+        raise ExperimentError("geomean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def speedup(base: float, enhanced: float) -> float:
+    """base/enhanced — >1 means the enhanced system is faster."""
+    if enhanced <= 0:
+        raise ExperimentError("enhanced measurement must be positive")
+    return base / enhanced
+
+
+def improvement_percent(base: float, enhanced: float) -> float:
+    """Relative reduction of a cost metric, in percent."""
+    if base == 0:
+        return 0.0
+    return 100.0 * (base - enhanced) / base
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a latency sample (microseconds etc.)."""
+
+    n: int
+    mean: float
+    p50: float
+    p75: float
+    p90: float
+    p95: float
+    p99: float
+
+    @staticmethod
+    def of(samples) -> "Summary":
+        """Build a summary from raw samples."""
+        arr = np.asarray(list(samples), dtype=np.float64)
+        if arr.size == 0:
+            raise ExperimentError("cannot summarise an empty sample")
+        p = np.percentile(arr, [50, 75, 90, 95, 99])
+        return Summary(int(arr.size), float(arr.mean()), *map(float, p))

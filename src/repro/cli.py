@@ -1,0 +1,85 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``list`` — enumerate the registered experiments;
+* ``run <experiment-id> [--scale smoke|paper]`` — run one experiment and
+  print its paper-style report;
+* ``compare <workload> [--requests N] [--abtb N]`` — quick base-vs-
+  enhanced comparison of one workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import quick_comparison
+from repro.experiments import PAPER, SMOKE, all_experiments, get
+from repro.workloads import ALL_WORKLOADS
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    experiments = all_experiments()
+    width = max(len(eid) for eid in experiments)
+    for eid, exp in sorted(experiments.items()):
+        print(f"{eid:<{width}}  {exp.paper_ref:<18}  {exp.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scale = PAPER if args.scale == "paper" else SMOKE
+    ids = sorted(all_experiments()) if args.experiment == "all" else [args.experiment]
+    ok = True
+    for eid in ids:
+        report = get(eid).run(scale)
+        print(report.render())
+        print()
+        ok = ok and report.all_shapes_hold
+    return 0 if ok else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    result = quick_comparison(args.workload, args.requests, args.abtb)
+    base, enh = result["base"], result["enhanced"]
+    print(f"workload  : {args.workload}")
+    print(f"requests  : {args.requests}   ABTB entries: {args.abtb}")
+    print(f"skip rate : {result['skip_rate']:.1%}")
+    print(f"speedup   : {result['speedup']:.4f}x")
+    print(f"{'counter (PKI)':<24}{'base':>10}{'enhanced':>10}")
+    for metric, value in base.table4_row().items():
+        print(f"{metric:<24}{value:>10.3f}{enh.table4_row()[metric]:>10.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Architectural Support for Dynamic Linking' (ASPLOS 2015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments").set_defaults(func=_cmd_list)
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id (see 'list'), or 'all'")
+    run.add_argument("--scale", choices=("smoke", "paper"), default="smoke")
+    run.set_defaults(func=_cmd_run)
+
+    compare = sub.add_parser("compare", help="base vs enhanced on one workload")
+    compare.add_argument("workload", choices=sorted(ALL_WORKLOADS))
+    compare.add_argument("--requests", type=int, default=80)
+    compare.add_argument("--abtb", type=int, default=256)
+    compare.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""The paper's primary contribution: ABTB, Bloom filter and the
+speculative trampoline-skip mechanism."""
+
+from repro.core.abtb import ABTB, ABTB_ENTRY_BYTES
+from repro.core.bloom import BloomFilter
+from repro.core.config import MechanismConfig
+from repro.core.mechanism import MechanismStats, TrampolineSkipMechanism
+
+__all__ = [
+    "ABTB",
+    "ABTB_ENTRY_BYTES",
+    "BloomFilter",
+    "MechanismConfig",
+    "MechanismStats",
+    "TrampolineSkipMechanism",
+]

@@ -1,0 +1,93 @@
+"""Bloom filter over GOT slot addresses.
+
+The mechanism keeps a small Bloom filter containing the GOT addresses that
+back live ABTB entries.  Every retired store (and incoming coherence
+invalidation) probes the filter; a hit means some ABTB mapping *may* now be
+stale, so the whole ABTB (and the filter itself) is cleared — correctness
+by conservative flush (paper Section 3.2).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    """SplitMix64 finaliser: a fast, well-distributed 64-bit hash."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+class BloomFilter:
+    """A counting-free Bloom filter sized for hardware implementation.
+
+    Attributes:
+        bits: number of filter bits (power of two).
+        hashes: number of hash functions.
+    """
+
+    def __init__(self, bits: int = 1024, hashes: int = 2) -> None:
+        if bits < 8 or bits & (bits - 1):
+            raise ConfigError(f"bloom bits must be a power of two >= 8, got {bits}")
+        if not 1 <= hashes <= 8:
+            raise ConfigError(f"bloom hash count must be in [1, 8], got {hashes}")
+        self.bits = bits
+        self.hashes = hashes
+        self._mask = bits - 1
+        self._bitset = 0
+        self._population = 0
+        self.adds = 0
+        self.queries = 0
+        self.hits = 0
+
+    def _positions(self, key: int) -> list[int]:
+        h1 = _splitmix64(key)
+        h2 = _splitmix64(h1) | 1  # odd, so double hashing cycles all bits
+        return [((h1 + i * h2) & _MASK64) & self._mask for i in range(self.hashes)]
+
+    def add(self, key: int) -> None:
+        """Insert a key (a GOT slot address)."""
+        self.adds += 1
+        for pos in self._positions(key):
+            self._bitset |= 1 << pos
+        self._population += 1
+
+    def maybe_contains(self, key: int) -> bool:
+        """Probe; False is definitive, True may be a false positive."""
+        self.queries += 1
+        hit = all((self._bitset >> pos) & 1 for pos in self._positions(key))
+        if hit:
+            self.hits += 1
+        return hit
+
+    def clear(self) -> None:
+        """Reset all bits (performed together with an ABTB flush)."""
+        self._bitset = 0
+        self._population = 0
+
+    @property
+    def population(self) -> int:
+        """Keys inserted since the last clear."""
+        return self._population
+
+    @property
+    def set_bits(self) -> int:
+        """Number of bits currently set."""
+        return bin(self._bitset).count("1")
+
+    @property
+    def false_positive_rate(self) -> float:
+        """Analytic false-positive estimate for the current population."""
+        if self._population == 0:
+            return 0.0
+        fill = 1.0 - (1.0 - 1.0 / self.bits) ** (self.hashes * self._population)
+        return fill**self.hashes
+
+    @property
+    def storage_bytes(self) -> int:
+        """Hardware storage of the filter in bytes."""
+        return self.bits // 8

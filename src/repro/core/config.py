@@ -1,0 +1,43 @@
+"""Configuration for the trampoline-skip mechanism."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class MechanismConfig:
+    """Hardware parameters of the trampoline-skip mechanism.
+
+    Attributes:
+        abtb_entries: ABTB capacity (the paper sweeps 1–256; 256 ≈ 1.5 KB).
+        bloom_bits: Bloom filter size in bits.  The paper calls the filter
+            "small" but never sizes it; because *every* retired store
+            probes it, the false-positive rate must be tiny or spurious
+            ABTB flushes erase the mechanism's benefit (the bloom-size
+            ablation experiment demonstrates the cliff).  The default,
+            128 Ki bits (16 KB), keeps false flushes out of the
+            measurement window for all four workloads.
+        bloom_hashes: hash functions used by the filter.
+        use_bloom: True for the transparent design (Section 3.2) in which
+            retired stores are snooped; False for the architecturally
+            visible alternative (Section 3.4) where software must issue
+            explicit ABTB invalidations.
+        asid_support: when True, ABTB entries survive context switches the
+            same way ASID-tagged TLB entries do (Section 3.3).
+    """
+
+    abtb_entries: int = 256
+    abtb_policy: str = "lru"
+    bloom_bits: int = 1 << 17
+    bloom_hashes: int = 4
+    use_bloom: bool = True
+    asid_support: bool = False
+
+    def __post_init__(self) -> None:
+        if self.abtb_entries < 1:
+            raise ConfigError("abtb_entries must be >= 1")
+        if self.bloom_bits < 8:
+            raise ConfigError("bloom_bits must be >= 8")

@@ -1,0 +1,130 @@
+"""The speculative trampoline-skip mechanism (Section 3 of the paper).
+
+This object holds the ABTB and Bloom filter and implements the retire-time
+logic; the CPU model (:mod:`repro.uarch.cpu`) calls into it at the points
+where real hardware would:
+
+* ``learn`` — when a retired ``call`` is immediately followed by a retired
+  indirect branch (the trampoline signature), map the trampoline address to
+  the branch's target and remember the GOT slot in the Bloom filter;
+* ``mapped_target`` — during branch resolution of a call, look the call's
+  *real* target up in the ABTB; a hit means the predicted target may
+  legitimately be the library function rather than the trampoline;
+* ``snoop_store`` — every retired store (and each coherence invalidation)
+  probes the Bloom filter; a hit conservatively flushes the ABTB and the
+  filter;
+* ``on_context_switch`` — without ASID support the ABTB is invalidated
+  like the TLB.
+
+The alternate implementation of Section 3.4 (``use_bloom=False``) skips
+store snooping entirely; correctness then depends on software calling
+:meth:`invalidate` when it rewrites a GOT (e.g. ``dlclose``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.abtb import ABTB
+from repro.core.bloom import BloomFilter
+from repro.core.config import MechanismConfig
+
+
+@dataclass
+class MechanismStats:
+    """Event counts specific to the mechanism."""
+
+    learns: int = 0
+    promotions: int = 0
+    store_flushes: int = 0
+    context_flushes: int = 0
+    explicit_flushes: int = 0
+    coherence_flushes: int = 0
+    #: Skips that would have executed stale targets — must stay zero
+    #: whenever the Bloom filter is enabled (correctness property).
+    unsafe_skips: int = 0
+
+
+@dataclass
+class TrampolineSkipMechanism:
+    """ABTB + Bloom filter with the paper's retire-time protocol."""
+
+    config: MechanismConfig = field(default_factory=MechanismConfig)
+
+    def __post_init__(self) -> None:
+        self.abtb = ABTB(self.config.abtb_entries, self.config.abtb_policy)
+        self.bloom = BloomFilter(self.config.bloom_bits, self.config.bloom_hashes)
+        self.stats = MechanismStats()
+
+    # ------------------------------------------------------------- retire
+
+    def learn(self, call_pc: int, trampoline_pc: int, branch_target: int, got_addr: int) -> None:
+        """Record a retired call→indirect-branch pair.
+
+        ``trampoline_pc`` is the call's target (the PLT stub address);
+        ``branch_target`` is where the stub's indirect branch actually went;
+        ``got_addr`` is the address the branch's pointer was loaded from.
+        """
+        self.stats.learns += 1
+        self.abtb.insert(trampoline_pc, branch_target, got_addr)
+        if self.config.use_bloom:
+            self.bloom.add(got_addr)
+
+    def mapped_target(self, real_target: int) -> int | None:
+        """ABTB lookup used by the modified branch-resolution logic."""
+        return self.abtb.lookup(real_target)
+
+    def note_promotion(self) -> None:
+        """Count a BTB entry being redirected to a library function."""
+        self.stats.promotions += 1
+
+    def note_unsafe_skip(self) -> None:
+        """Count a skip validated against a stale mapping (§3.4 hazard)."""
+        self.stats.unsafe_skips += 1
+
+    # ------------------------------------------------------------- snooping
+
+    def snoop_store(self, addr: int) -> bool:
+        """Probe a retired store; flush on a (possibly false) positive."""
+        if not self.config.use_bloom:
+            return False
+        if self.bloom.population and self.bloom.maybe_contains(addr):
+            self._flush()
+            self.stats.store_flushes += 1
+            return True
+        return False
+
+    def coherence_invalidate(self, addr: int) -> bool:
+        """Probe an invalidation from the coherence subsystem."""
+        if not self.config.use_bloom:
+            return False
+        if self.bloom.population and self.bloom.maybe_contains(addr):
+            self._flush()
+            self.stats.coherence_flushes += 1
+            return True
+        return False
+
+    # ---------------------------------------------------------- lifecycle
+
+    def on_context_switch(self) -> None:
+        """Invalidate on context switch unless ASIDs retain entries."""
+        if not self.config.asid_support:
+            self._flush()
+            self.stats.context_flushes += 1
+
+    def invalidate(self) -> None:
+        """Explicit software invalidation (the Section 3.4 interface)."""
+        self._flush()
+        self.stats.explicit_flushes += 1
+
+    def _flush(self) -> None:
+        self.abtb.flush()
+        self.bloom.clear()
+
+    # ----------------------------------------------------------- metadata
+
+    @property
+    def storage_bytes(self) -> int:
+        """Total on-chip storage: ABTB entries plus the Bloom filter."""
+        bloom = self.bloom.storage_bytes if self.config.use_bloom else 0
+        return self.abtb.storage_bytes + bloom

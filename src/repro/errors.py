@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause without masking
+unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class LayoutError(ReproError):
+    """Address-space layout failed (overlap, exhaustion, bad region)."""
+
+
+class LinkError(ReproError):
+    """Symbol resolution or relocation failed."""
+
+
+class MemoryError_(ReproError):
+    """Page-level memory model violation (bad permissions, unmapped page)."""
+
+
+class TraceError(ReproError):
+    """Malformed trace event stream."""
+
+
+class ExperimentError(ReproError):
+    """An experiment was misconfigured or produced inconsistent output."""

@@ -1,0 +1,26 @@
+"""Experiments: one runnable reproduction per paper table/figure.
+
+Use the registry to enumerate and run them::
+
+    from repro.experiments import all_experiments, SMOKE
+    for exp in all_experiments().values():
+        print(exp.run(SMOKE).render())
+"""
+
+from repro.experiments.registry import Experiment, all_experiments, get, register
+from repro.experiments.runner import RequestSample, RunResult, run_pair, run_workload
+from repro.experiments.scale import PAPER, SMOKE, Scale
+
+__all__ = [
+    "Experiment",
+    "PAPER",
+    "RequestSample",
+    "RunResult",
+    "SMOKE",
+    "Scale",
+    "all_experiments",
+    "get",
+    "register",
+    "run_pair",
+    "run_workload",
+]

@@ -1,0 +1,78 @@
+"""Figure 5 — percentage of trampolines skipped vs ABTB size.
+
+Paper shape: with just 16 entries (192 bytes) more than 75 % of
+trampoline executions are skipped in any of the three plotted workloads;
+a 256-entry ABTB skips nearly all actively used trampolines.  Steep
+sections of each curve reveal ABTB "working sets".
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import Report, Series, Table
+from repro.core.config import MechanismConfig
+from repro.core.mechanism import TrampolineSkipMechanism
+from repro.experiments.registry import Experiment, register
+from repro.experiments.runner import run_workload
+from repro.experiments.scale import SMOKE, Scale
+from repro.workloads import ALL_WORKLOADS
+
+PLOTTED = ("apache", "firefox", "memcached")
+SIZES = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+
+def skip_fraction(workload: str, abtb_entries: int, scale: Scale) -> float:
+    """Fraction of trampoline executions skipped with a given ABTB size."""
+    module = ALL_WORKLOADS[workload]
+    result = run_workload(
+        module.config(),
+        mechanism=TrampolineSkipMechanism(MechanismConfig(abtb_entries=abtb_entries)),
+        warmup_requests=scale.warmup(workload),
+        measured_requests=scale.measured(workload),
+    )
+    return result.skip_rate
+
+
+def sweep(scale: Scale, workloads=PLOTTED, sizes=SIZES) -> dict[str, list[tuple[int, float]]]:
+    """The full (size, skip %) sweep of Figure 5."""
+    return {
+        name: [(n, skip_fraction(name, n, scale)) for n in sizes] for name in workloads
+    }
+
+
+def run(scale: Scale = SMOKE) -> Report:
+    """Reproduce Figure 5."""
+    curves = sweep(scale)
+    report = Report("fig5", "Trampolines skipped vs ABTB size")
+    table = Table(
+        "Figure 5: % trampolines skipped by ABTB size",
+        ["ABTB entries"] + [f"{w} (%)" for w in curves],
+    )
+    for i, size in enumerate(SIZES):
+        table.add_row(size, *[round(100 * curves[w][i][1], 1) for w in curves])
+    report.tables.append(table)
+    for name, points in curves.items():
+        report.series.append(
+            Series(name, [float(n) for n, _ in points], [100 * s for _, s in points])
+        )
+
+    at16 = {w: dict(curves[w])[16] for w in curves}
+    at256 = {w: dict(curves[w])[256] for w in curves}
+    report.shape_checks = {
+        "16 entries skip >75% in every plotted workload": all(v > 0.75 for v in at16.values()),
+        "256 entries skip >=90% for apache and memcached": (
+            at256["apache"] >= 0.90 and at256["memcached"] >= 0.90
+        ),
+        "256 entries skip >=80% everywhere": all(v >= 0.80 for v in at256.values()),
+        "curves are monotonically non-decreasing": all(
+            all(b[1] >= a[1] - 0.02 for a, b in zip(pts, pts[1:])) for pts in curves.values()
+        ),
+    }
+    report.notes.append("16 entries = 192 bytes; 256 entries = 3 KB at 12 B/entry")
+    report.notes.append(
+        "firefox saturates below the others: its flat popularity means many "
+        "one-burst trampolines whose 1-execution learn cost is unavoidable"
+    )
+    return report
+
+
+register(Experiment("fig5", "Figure 5", "Skip rate vs ABTB size", run))

@@ -1,0 +1,116 @@
+"""Section 5.5 — memory savings of the hardware over software patching.
+
+Paper numbers for prefork Apache: patching after fork privatises ~280
+code pages per process (~1.1 MB each); a busy server with hundreds of
+worker processes wastes on the order of 0.5 GB of RAM.  The proposed
+hardware leaves code pages untouched and fully shared (zero overhead),
+and patch-before-fork preserves sharing only by abandoning lazy
+resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analysis.report import Report, Table
+from repro.experiments.registry import Experiment, register
+from repro.experiments.scale import SMOKE, Scale
+from repro.memory.cow import measure as measure_cow
+from repro.memory.pages import PAGE_SIZE
+from repro.trace.engine import LinkMode
+from repro.workloads import apache
+from repro.workloads.base import Workload
+
+#: Worker processes simulated directly (page-table granularity).
+MODEL_PROCESSES = 12
+#: The paper's "busy server" extrapolation point.
+BUSY_SERVER_PROCESSES = 500
+
+
+def measure(scale: Scale, processes: int = MODEL_PROCESSES):
+    """Run patched-mode Apache across forked workers; account CoW pages.
+
+    Returns (patch_after_fork, patch_before_fork, hardware) summaries,
+    each a dict with per-process and total wasted bytes.
+    """
+    # --- patch after fork: every worker privatises every patched page ---
+    cfg = replace(apache.config(), sites_per_pair=3)
+    wl = Workload(cfg, mode=LinkMode.PATCHED)
+    parent = wl.address_space
+    assert parent is not None and wl.patcher is not None
+    children = [parent.fork(f"worker{i}") for i in range(processes)]
+    wl.patcher.spaces = children  # workers patch their own text lazily
+    baseline = measure_cow(wl.phys, children)
+    # Drive requests; the engine patches call sites as they first execute.
+    for _ in wl.trace(scale.measured("apache"), include_marks=False):
+        pass
+    after = measure_cow(wl.phys, children)
+    pages = wl.patcher.stats.pages_touched
+    per_process = wl.patcher.stats.wasted_bytes_per_process
+    patch_after = {
+        "pages_patched": pages,
+        "per_process_bytes": per_process,
+        "total_bytes": after.total_bytes - baseline.total_bytes,
+        "cow_faults": after.cow_faults - baseline.cow_faults,
+        "busy_server_bytes": per_process * BUSY_SERVER_PROCESSES,
+    }
+
+    # --- patch before fork: pages privatised once, then shared ---
+    cfg2 = replace(apache.config(), sites_per_pair=3)
+    wl2 = Workload(cfg2, mode=LinkMode.PATCHED)
+    parent2 = wl2.address_space
+    assert parent2 is not None and wl2.patcher is not None
+    wl2.patcher.spaces = [parent2]
+    records = wl2.patcher.patch_all_sites(wl2.all_call_sites())
+    children2 = [parent2.fork(f"worker{i}") for i in range(processes)]
+    after2 = measure_cow(wl2.phys, children2 + [parent2])
+    patch_before = {
+        "pages_patched": wl2.patcher.stats.pages_touched,
+        "per_process_bytes": 0,
+        "total_bytes": wl2.patcher.stats.pages_touched * PAGE_SIZE,
+        "sites_resolved_eagerly": len(records),
+        "busy_server_bytes": wl2.patcher.stats.pages_touched * PAGE_SIZE,
+    }
+
+    hardware = {
+        "pages_patched": 0,
+        "per_process_bytes": 0,
+        "total_bytes": 0,
+        "busy_server_bytes": 0,
+    }
+    return patch_after, patch_before, hardware
+
+
+def run(scale: Scale = SMOKE) -> Report:
+    """Reproduce the Section 5.5 memory accounting."""
+    after, before, hardware = measure(scale)
+    report = Report("memsave", "Memory overhead: software patching vs hardware")
+    table = Table(
+        "Section 5.5: memory overhead of call-site patching (prefork Apache)",
+        ["Strategy", "Pages patched", "Bytes/process", "Busy-server bytes (500 procs)"],
+    )
+    table.add_row("patch after fork (lazy)", after["pages_patched"], after["per_process_bytes"], after["busy_server_bytes"])
+    table.add_row("patch before fork (eager)", before["pages_patched"], before["per_process_bytes"], before["busy_server_bytes"])
+    table.add_row("proposed hardware", 0, 0, 0)
+    report.tables.append(table)
+    report.shape_checks = {
+        "per-process waste near the paper's ~1.1 MB (0.3-3 MB band)": (
+            300_000 <= after["per_process_bytes"] <= 3_000_000
+        ),
+        "busy-server waste on the order of 0.5 GB (0.1-1.5 GB)": (
+            100e6 <= after["busy_server_bytes"] <= 1.5e9
+        ),
+        "CoW faults occurred in every worker": after["cow_faults"] >= after["pages_patched"],
+        "eager patching keeps pages shared but loses laziness": (
+            before["per_process_bytes"] == 0 and before["sites_resolved_eagerly"] > 0
+        ),
+        "hardware has zero memory overhead": hardware["total_bytes"] == 0,
+    }
+    report.notes.append(
+        f"measured with {MODEL_PROCESSES} live page-table processes, "
+        f"extrapolated to {BUSY_SERVER_PROCESSES}"
+    )
+    return report
+
+
+register(Experiment("memsave", "Section 5.5", "Memory savings accounting", run))

@@ -1,0 +1,68 @@
+"""Experiment registry: one entry per paper table/figure.
+
+Each experiment module registers a callable ``run(scale) -> Report``;
+benchmarks and the CLI-style examples look experiments up by id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.report import Report
+from repro.errors import ExperimentError
+from repro.experiments.scale import Scale
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A runnable reproduction of one paper artefact."""
+
+    experiment_id: str
+    paper_ref: str
+    description: str
+    run: Callable[[Scale], Report]
+
+
+_REGISTRY: dict[str, Experiment] = {}
+
+
+def register(experiment: Experiment) -> Experiment:
+    """Add an experiment to the registry (idempotent per id)."""
+    _REGISTRY[experiment.experiment_id] = experiment
+    return experiment
+
+
+def get(experiment_id: str) -> Experiment:
+    """Look an experiment up by id."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_experiments() -> dict[str, Experiment]:
+    """All registered experiments keyed by id."""
+    _ensure_loaded()
+    return dict(_REGISTRY)
+
+
+def _ensure_loaded() -> None:
+    """Import every experiment module so registration side effects run."""
+    from repro.experiments import (  # noqa: F401
+        ablation,
+        fig4,
+        fig5,
+        fig6,
+        fig7,
+        fig8,
+        hwcost,
+        memsave,
+        table2,
+        table3,
+        table4,
+        table5,
+    )

@@ -1,0 +1,171 @@
+"""Shared measurement harness.
+
+Mirrors the paper's methodology: start the program (resolving all GOT
+entries), warm the server, then measure a steady-state window with
+performance counters and per-request timestamps.  Base and enhanced runs
+are built from identical configurations, so they consume *identical*
+instruction traces — the measured delta is purely the microarchitectural
+effect of the mechanism, exactly as in the paper's patched-vs-unpatched
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import MechanismConfig
+from repro.core.mechanism import TrampolineSkipMechanism
+from repro.errors import ExperimentError
+from repro.trace.engine import LinkMode
+from repro.uarch.counters import PerfCounters
+from repro.uarch.cpu import CPU, CPUConfig
+from repro.uarch.timing import TimingModel
+from repro.workloads import ALL_WORKLOADS
+from repro.workloads.base import Workload, WorkloadConfig
+
+
+@dataclass(frozen=True)
+class RequestSample:
+    """One request observed in the measurement window."""
+
+    class_name: str
+    request_id: int
+    instructions: int
+    cycles: float
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one steady-state window."""
+
+    label: str
+    counters: PerfCounters
+    requests: list[RequestSample]
+    workload: Workload
+    cpu: CPU
+    mechanism: TrampolineSkipMechanism | None = None
+
+    def requests_of(self, class_name: str) -> list[RequestSample]:
+        """Samples of one request class."""
+        return [r for r in self.requests if r.class_name == class_name]
+
+    def class_names(self) -> list[str]:
+        """Distinct request classes observed, in first-seen order."""
+        seen: dict[str, None] = {}
+        for r in self.requests:
+            seen.setdefault(r.class_name, None)
+        return list(seen)
+
+    def latencies_us(
+        self,
+        class_name: str | None = None,
+        timing: TimingModel | None = None,
+        noise_sigma: float = 0.0,
+        noise_seed: int = 7,
+    ) -> list[float]:
+        """Per-request response times in microseconds.
+
+        ``noise_sigma`` adds lognormal service-time dispersion (queueing,
+        interrupts) keyed by *request id*, so base and enhanced runs get
+        identical noise draws (common random numbers) and their latency
+        difference stays purely microarchitectural.
+        """
+        timing = timing if timing is not None else TimingModel()
+        samples = self.requests if class_name is None else self.requests_of(class_name)
+        out = []
+        for r in samples:
+            us = timing.cycles_to_microseconds(r.cycles)
+            if noise_sigma > 0:
+                rng = np.random.default_rng(np.random.SeedSequence([noise_seed, r.request_id]))
+                us *= float(np.exp(rng.normal(0.0, noise_sigma)))
+            out.append(us)
+        return out
+
+    @property
+    def skip_rate(self) -> float:
+        """Fraction of trampoline executions avoided in the window."""
+        total = self.counters.trampolines_skipped + self.counters.trampolines_executed
+        return self.counters.trampolines_skipped / total if total else 0.0
+
+
+def run_workload(
+    config: WorkloadConfig,
+    mechanism: TrampolineSkipMechanism | None = None,
+    warmup_requests: int = 10,
+    measured_requests: int = 50,
+    cpu_config: CPUConfig | None = None,
+    mode: LinkMode = LinkMode.DYNAMIC,
+    label: str | None = None,
+) -> RunResult:
+    """Run startup + warmup, then measure a steady-state window."""
+    workload = Workload(config, mode)
+    cpu = CPU(cpu_config, mechanism)
+    cpu.run(workload.startup_trace())
+    workload.reset_usage_stats()  # Table 3 / Fig 4 cover organic execution
+    if warmup_requests:
+        cpu.run(workload.trace(warmup_requests, include_marks=False))
+    cpu.finalize()
+    snapshot = cpu.counters.copy()
+    marks_before = len(cpu.marks)
+
+    cpu.run(workload.trace(measured_requests, start_id=warmup_requests))
+    cpu.finalize()
+    window = cpu.counters.delta(snapshot)
+    requests = _pair_marks(cpu, marks_before)
+    return RunResult(
+        label or ("enhanced" if mechanism else "base"),
+        window,
+        requests,
+        workload,
+        cpu,
+        mechanism,
+    )
+
+
+def run_pair(
+    workload_name: str,
+    scale,
+    abtb_entries: int = 256,
+    cpu_config: CPUConfig | None = None,
+    mechanism_config: MechanismConfig | None = None,
+    seed: int | None = None,
+) -> tuple[RunResult, RunResult]:
+    """Base vs enhanced over identical traces of a named workload."""
+    module = ALL_WORKLOADS[workload_name]
+    warmup = scale.warmup(workload_name)
+    measured = scale.measured(workload_name)
+    results = []
+    for label in ("base", "enhanced"):
+        cfg = module.config() if seed is None else module.config(seed=seed)
+        mech = None
+        if label == "enhanced":
+            mcfg = mechanism_config or MechanismConfig(abtb_entries=abtb_entries)
+            mech = TrampolineSkipMechanism(mcfg)
+        results.append(
+            run_workload(cfg, mech, warmup, measured, cpu_config, label=label)
+        )
+    base, enhanced = results
+    if base.counters.instructions == 0:
+        raise ExperimentError("empty measurement window")
+    return base, enhanced
+
+
+def _pair_marks(cpu: CPU, marks_from: int) -> list[RequestSample]:
+    """Convert begin/end marks into per-request samples."""
+    out: list[RequestSample] = []
+    open_marks: dict[int, tuple[str, int, float]] = {}
+    for mark in cpu.marks[marks_from:]:
+        tag = mark.tag
+        if not (isinstance(tag, tuple) and len(tag) == 3):
+            continue
+        phase, class_name, request_id = tag
+        if phase == "begin":
+            open_marks[request_id] = (class_name, mark.instructions, mark.cycles)
+        elif phase == "end" and request_id in open_marks:
+            class_name, instr0, cyc0 = open_marks.pop(request_id)
+            out.append(
+                RequestSample(class_name, request_id, mark.instructions - instr0, mark.cycles - cyc0)
+            )
+    return out

@@ -1,0 +1,59 @@
+"""Scale presets for experiments.
+
+The paper measured hours of warm-server execution; a pure-Python model
+cannot, so every experiment takes a :class:`Scale` choosing how many
+requests to simulate.  All reported *shapes* (who wins, orderings,
+crossovers) hold at every preset; only statistical smoothness improves
+with size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Per-workload (warmup_requests, measured_requests) preset."""
+
+    name: str
+    requests: dict[str, tuple[int, int]]
+
+    def warmup(self, workload: str) -> int:
+        """Warmup requests excluded from the measurement window."""
+        return self._get(workload)[0]
+
+    def measured(self, workload: str) -> int:
+        """Requests inside the measurement window."""
+        return self._get(workload)[1]
+
+    def _get(self, workload: str) -> tuple[int, int]:
+        try:
+            return self.requests[workload]
+        except KeyError:
+            raise ConfigError(f"scale {self.name!r} has no preset for {workload!r}") from None
+
+
+#: CI-sized: each experiment in seconds.
+SMOKE = Scale(
+    "smoke",
+    {
+        "apache": (14, 30),
+        "memcached": (40, 250),
+        "mysql": (12, 30),
+        "firefox": (4, 14),
+    },
+)
+
+#: Bench-sized: the default for the benchmark harness (a few minutes total).
+PAPER = Scale(
+    "paper",
+    {
+        "apache": (30, 220),
+        "memcached": (150, 1500),
+        "mysql": (25, 160),
+        "firefox": (20, 120),
+    },
+)

@@ -1,0 +1,57 @@
+"""Table 2 — trampoline instructions per kilo-instruction.
+
+Paper values: Apache 12.23, Firefox 0.72, Memcached 1.75, MySQL 5.56.
+Shape: Apache >> MySQL > Memcached > Firefox, with Apache around 1 % of
+all executed instructions spent in trampolines.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import Report, Table
+from repro.experiments.registry import Experiment, register
+from repro.experiments.runner import run_workload
+from repro.experiments.scale import SMOKE, Scale
+from repro.workloads import ALL_WORKLOADS
+
+PAPER_PKI = {"apache": 12.23, "firefox": 0.72, "memcached": 1.75, "mysql": 5.56}
+
+
+def measure_pki(scale: Scale) -> dict[str, float]:
+    """Trampoline PKI per workload over a steady-state window."""
+    out: dict[str, float] = {}
+    for name, module in ALL_WORKLOADS.items():
+        result = run_workload(
+            module.config(),
+            mechanism=None,
+            warmup_requests=scale.warmup(name),
+            measured_requests=scale.measured(name),
+        )
+        out[name] = result.counters.pki("trampoline_instructions")
+    return out
+
+
+def run(scale: Scale = SMOKE) -> Report:
+    """Reproduce Table 2."""
+    measured = measure_pki(scale)
+    table = Table(
+        "Table 2: Instructions in trampoline per kilo instruction",
+        ["Workload", "Paper PKI", "Measured PKI"],
+    )
+    for name in sorted(measured):
+        table.add_row(name, PAPER_PKI[name], round(measured[name], 2))
+
+    order = sorted(measured, key=measured.get, reverse=True)
+    report = Report("table2", "Trampoline instructions PKI (opportunity)")
+    report.tables.append(table)
+    report.shape_checks = {
+        "ordering apache > mysql > memcached > firefox": order
+        == ["apache", "mysql", "memcached", "firefox"],
+        "apache ~1% of instructions in trampolines": 8.0 <= measured["apache"] <= 17.0,
+        "each workload within 35% of the paper's value": all(
+            abs(measured[w] - PAPER_PKI[w]) / PAPER_PKI[w] <= 0.35 for w in measured
+        ),
+    }
+    return report
+
+
+register(Experiment("table2", "Table 2", "Trampoline instructions PKI", run))

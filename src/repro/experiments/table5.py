@@ -1,0 +1,64 @@
+"""Table 5 — Firefox Peacekeeper scores (higher is better).
+
+Paper shape: every category's score improves under the proposed hardware:
+Rendering +2.7 %, DOM operations +1.8 %, Text parsing +0.8 %, with small
+gains for HTML5 Canvas and Data.
+
+Scores here are benchmark iterations per simulated second per category,
+the same ops/time construction Peacekeeper uses.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import Report, Table
+from repro.experiments.registry import Experiment, register
+from repro.experiments.runner import run_pair
+from repro.experiments.scale import SMOKE, Scale
+from repro.uarch.timing import TimingModel
+from repro.workloads.firefox import PAPER_TABLE5
+
+
+def measure(scale: Scale) -> dict[str, tuple[float, float]]:
+    """(base, enhanced) score per Peacekeeper category."""
+    base, enhanced = run_pair("firefox", scale)
+    timing = TimingModel()
+    out: dict[str, tuple[float, float]] = {}
+    for name in base.class_names():
+        scores = []
+        for result in (base, enhanced):
+            samples = result.requests_of(name)
+            total_s = sum(timing.cycles_to_seconds(r.cycles) for r in samples)
+            scores.append(len(samples) / total_s if total_s else 0.0)
+        out[name] = (scores[0], scores[1])
+    return out
+
+
+def run(scale: Scale = SMOKE) -> Report:
+    """Reproduce Table 5."""
+    measured = measure(scale)
+    report = Report("table5", "Firefox Peacekeeper scores, base vs enhanced")
+    table = Table(
+        "Table 5: Peacekeeper scores (higher is better)",
+        ["Category", "Paper base", "Paper enh", "Meas base", "Meas enh", "Meas gain %"],
+    )
+    checks: dict[str, bool] = {}
+    for name, (b, e) in measured.items():
+        pb, pe = PAPER_TABLE5.get(name, (0.0, 0.0))
+        gain = 100.0 * (e - b) / b if b else 0.0
+        table.add_row(name, pb, pe, round(b, 1), round(e, 1), round(gain, 2))
+        checks[f"{name}: enhanced score not materially lower"] = e >= b * 0.995
+    report.tables.append(table)
+    gains = {n: (e - b) / b for n, (b, e) in measured.items() if b}
+    checks["aggregate score improves"] = sum(gains.values()) > 0
+    checks["gains bounded by the paper's 3% ceiling"] = all(g <= 0.03 for g in gains.values())
+    report.shape_checks = checks
+    report.notes.append(
+        "scores are iterations per simulated second; Firefox's library-call "
+        "rate (0.72 PKI) bounds achievable gains — our second-order cache "
+        "effects are smaller than the real system's, so gains are ~10x "
+        "smaller than the paper's 0.8-2.7%"
+    )
+    return report
+
+
+register(Experiment("table5", "Table 5", "Firefox Peacekeeper scores", run))

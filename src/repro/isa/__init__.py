@@ -1,0 +1,44 @@
+"""Synthetic trace ISA: event kinds, architectures and event constructors."""
+
+from repro.isa.arch import ARCH_PARAMS, Arch, ArchParams
+from repro.isa.events import (
+    TraceEvent,
+    block,
+    call_direct,
+    call_indirect,
+    coherence_inval,
+    cond_branch,
+    context_switch,
+    count_instructions,
+    jmp_direct,
+    jmp_indirect,
+    load,
+    mark,
+    ret,
+    store,
+)
+from repro.isa.kinds import BRANCH_KINDS, DEFAULT_NBYTES, MEMORY_KINDS, EventKind
+
+__all__ = [
+    "ARCH_PARAMS",
+    "Arch",
+    "ArchParams",
+    "BRANCH_KINDS",
+    "DEFAULT_NBYTES",
+    "MEMORY_KINDS",
+    "EventKind",
+    "TraceEvent",
+    "block",
+    "call_direct",
+    "call_indirect",
+    "coherence_inval",
+    "cond_branch",
+    "context_switch",
+    "count_instructions",
+    "jmp_direct",
+    "jmp_indirect",
+    "load",
+    "mark",
+    "ret",
+    "store",
+]

@@ -1,0 +1,59 @@
+"""Target-architecture parameters for trampoline geometry.
+
+The paper's Figure 2 shows both encodings:
+
+* **x86-64** — the PLT stub's working part is a single ``jmp *GOT[n]``;
+  the trampoline costs one executed instruction per call.
+* **ARM** — the stub computes the GOT slot address with two ``add``
+  instructions and branches with ``ldr pc, [...]``; three instructions
+  per call, so skipping saves 3× the instructions.
+
+The mechanism is identical on both: a call followed (within the stub) by
+an indirect branch, which is exactly the retire-time pattern the ABTB
+learns.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Arch(enum.Enum):
+    """Supported trampoline encodings."""
+
+    X86_64 = "x86_64"
+    ARM = "arm"
+
+
+@dataclass(frozen=True)
+class ArchParams:
+    """Trampoline geometry of one architecture.
+
+    Attributes:
+        stub_prefix_instrs: instructions executed in the stub before the
+            indirect branch (0 on x86-64, 2 adds on ARM).
+        stub_prefix_bytes: code bytes of that prefix.
+        branch_bytes: encoding size of the indirect branch itself.
+        call_bytes: encoding size of a call/bl instruction.
+    """
+
+    stub_prefix_instrs: int
+    stub_prefix_bytes: int
+    branch_bytes: int
+    call_bytes: int
+
+    @property
+    def trampoline_instructions(self) -> int:
+        """Instructions executed per trampoline traversal."""
+        return self.stub_prefix_instrs + 1
+
+
+ARCH_PARAMS = {
+    Arch.X86_64: ArchParams(
+        stub_prefix_instrs=0, stub_prefix_bytes=0, branch_bytes=6, call_bytes=5
+    ),
+    Arch.ARM: ArchParams(
+        stub_prefix_instrs=2, stub_prefix_bytes=8, branch_bytes=4, call_bytes=4
+    ),
+}

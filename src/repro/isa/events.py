@@ -1,0 +1,168 @@
+"""Trace event representation.
+
+A :class:`TraceEvent` is the unit consumed by the CPU model.  Events are
+created in very large numbers (hundreds of thousands per run), so the class
+uses ``__slots__`` and module-level constructor helpers that avoid keyword
+overhead on the hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import TraceError
+from repro.isa.kinds import DEFAULT_NBYTES, EventKind
+
+
+class TraceEvent:
+    """One architectural event in an instruction trace.
+
+    Attributes:
+        kind: the :class:`EventKind` discriminator.
+        pc: virtual address of the (first) instruction of the event.
+        n_instr: number of instructions the event represents.
+        nbytes: code bytes spanned by the event (for instruction fetch).
+        target: control-transfer destination (0 when not a branch).
+        mem_addr: data address touched (0 when no data access).
+        taken: architectural outcome for conditional branches.
+        tag: free-form marker payload for ``MARK`` events.
+    """
+
+    __slots__ = ("kind", "pc", "n_instr", "nbytes", "target", "mem_addr", "taken", "tag")
+
+    def __init__(
+        self,
+        kind: EventKind,
+        pc: int = 0,
+        n_instr: int = 1,
+        nbytes: int = 0,
+        target: int = 0,
+        mem_addr: int = 0,
+        taken: bool = True,
+        tag: object = None,
+    ) -> None:
+        self.kind = kind
+        self.pc = pc
+        self.n_instr = n_instr
+        self.nbytes = nbytes
+        self.target = target
+        self.mem_addr = mem_addr
+        self.taken = taken
+        self.tag = tag
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceEvent({self.kind.name}, pc={self.pc:#x}, n_instr={self.n_instr}, "
+            f"target={self.target:#x}, mem={self.mem_addr:#x}, tag={self.tag!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceEvent):
+            return NotImplemented
+        return (
+            self.kind == other.kind
+            and self.pc == other.pc
+            and self.n_instr == other.n_instr
+            and self.nbytes == other.nbytes
+            and self.target == other.target
+            and self.mem_addr == other.mem_addr
+            and self.taken == other.taken
+            and self.tag == other.tag
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.pc, self.n_instr, self.target, self.mem_addr))
+
+
+def block(pc: int, n_instr: int, nbytes: int | None = None) -> TraceEvent:
+    """A straight-line run of ``n_instr`` instructions starting at ``pc``.
+
+    When ``nbytes`` is omitted, instructions are assumed to average 4 bytes,
+    the typical x86-64 density.
+    """
+    if n_instr < 1:
+        raise TraceError(f"block must contain at least one instruction, got {n_instr}")
+    return TraceEvent(EventKind.BLOCK, pc, n_instr, nbytes if nbytes is not None else 4 * n_instr)
+
+
+def call_direct(pc: int, target: int) -> TraceEvent:
+    """A direct ``call`` at ``pc`` to ``target``."""
+    return TraceEvent(
+        EventKind.CALL_DIRECT, pc, 1, DEFAULT_NBYTES[EventKind.CALL_DIRECT], target
+    )
+
+
+def call_indirect(pc: int, target: int, mem_addr: int = 0) -> TraceEvent:
+    """An indirect call at ``pc`` whose resolved destination is ``target``.
+
+    ``mem_addr`` is nonzero when the pointer is loaded from memory (virtual
+    dispatch); register-indirect calls pass 0 and perform no data access.
+    """
+    return TraceEvent(
+        EventKind.CALL_INDIRECT,
+        pc,
+        1,
+        DEFAULT_NBYTES[EventKind.CALL_INDIRECT],
+        target,
+        mem_addr,
+    )
+
+
+def jmp_indirect(pc: int, target: int, mem_addr: int) -> TraceEvent:
+    """The PLT trampoline: ``jmp *mem_addr`` resolving to ``target``."""
+    return TraceEvent(
+        EventKind.JMP_INDIRECT, pc, 1, DEFAULT_NBYTES[EventKind.JMP_INDIRECT], target, mem_addr
+    )
+
+
+def jmp_direct(pc: int, target: int) -> TraceEvent:
+    """A direct unconditional jump."""
+    return TraceEvent(EventKind.JMP_DIRECT, pc, 1, DEFAULT_NBYTES[EventKind.JMP_DIRECT], target)
+
+
+def ret(pc: int, target: int) -> TraceEvent:
+    """A return at ``pc`` to the architectural return address ``target``."""
+    return TraceEvent(EventKind.RET, pc, 1, DEFAULT_NBYTES[EventKind.RET], target)
+
+
+def cond_branch(pc: int, target: int, taken: bool) -> TraceEvent:
+    """A conditional branch with its architectural outcome."""
+    return TraceEvent(
+        EventKind.COND_BRANCH,
+        pc,
+        1,
+        DEFAULT_NBYTES[EventKind.COND_BRANCH],
+        target,
+        0,
+        taken,
+    )
+
+
+def load(pc: int, mem_addr: int) -> TraceEvent:
+    """A data load."""
+    return TraceEvent(EventKind.LOAD, pc, 1, DEFAULT_NBYTES[EventKind.LOAD], 0, mem_addr)
+
+
+def store(pc: int, mem_addr: int) -> TraceEvent:
+    """A data store (snooped by the mechanism's Bloom filter)."""
+    return TraceEvent(EventKind.STORE, pc, 1, DEFAULT_NBYTES[EventKind.STORE], 0, mem_addr)
+
+
+def context_switch() -> TraceEvent:
+    """An OS context switch marker."""
+    return TraceEvent(EventKind.CONTEXT_SWITCH, 0, 0, 0)
+
+
+def coherence_inval(mem_addr: int) -> TraceEvent:
+    """A remote-core invalidation of the line holding ``mem_addr``."""
+    return TraceEvent(EventKind.COHERENCE_INVAL, 0, 0, 0, 0, mem_addr)
+
+
+def mark(tag: object) -> TraceEvent:
+    """A bookkeeping marker (request boundaries, phase labels)."""
+    return TraceEvent(EventKind.MARK, 0, 0, 0, tag=tag)
+
+
+def count_instructions(events: Iterator[TraceEvent]) -> int:
+    """Total architectural instruction count of an event stream."""
+    return sum(e.n_instr for e in events)

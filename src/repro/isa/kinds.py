@@ -1,0 +1,102 @@
+"""Instruction-event kinds for the synthetic trace ISA.
+
+The simulator is *event driven* rather than instruction driven: straight-line
+runs of instructions are carried by a single ``BLOCK`` event, while every
+control-transfer and memory operation that the paper's mechanism cares about
+is an explicit event.  This keeps traces compact (roughly one event per 5-50
+instructions) without losing any of the phenomena the paper measures — cache
+line touches, TLB page touches, BTB/predictor updates and GOT loads/stores
+are all per-event effects.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class EventKind(enum.IntEnum):
+    """Discriminator for :class:`repro.isa.events.TraceEvent`."""
+
+    #: Straight-line code: ``n_instr`` instructions spanning ``nbytes`` bytes
+    #: starting at ``pc``.  Charges instruction fetch only.
+    BLOCK = 0
+
+    #: Direct (PC-relative) ``call`` with a statically encoded target.
+    CALL_DIRECT = 1
+
+    #: Indirect call through a register or memory (e.g. C++ virtual call).
+    #: ``mem_addr`` is the slot holding the pointer (0 for register calls).
+    CALL_INDIRECT = 2
+
+    #: Indirect jump through memory — the PLT trampoline instruction
+    #: (``jmp *GOT[slot]``).  ``mem_addr`` is the GOT slot address and
+    #: ``target`` the resolved destination.
+    JMP_INDIRECT = 3
+
+    #: Direct unconditional jump.
+    JMP_DIRECT = 4
+
+    #: Function return (predicted by the return-address stack).
+    RET = 5
+
+    #: Conditional branch.  ``taken`` records the architectural outcome.
+    COND_BRANCH = 6
+
+    #: Data load from ``mem_addr``.
+    LOAD = 7
+
+    #: Data store to ``mem_addr``.  Stores are snooped by the Bloom filter of
+    #: the trampoline-skip mechanism.
+    STORE = 8
+
+    #: OS context switch.  Flushes the TLBs, RAS and (without ASID support)
+    #: the ABTB.  Carries no instructions.
+    CONTEXT_SWITCH = 9
+
+    #: Bookkeeping marker delimiting logical units of work (request start and
+    #: end).  Carries no instructions and touches no hardware structure.
+    MARK = 10
+
+    #: A coherence invalidation arriving from another core (e.g. a different
+    #: process or thread rewriting a shared GOT page).  Snooped by the
+    #: mechanism's Bloom filter exactly like a local store (Section 3.2),
+    #: but executes no instruction on this core.
+    COHERENCE_INVAL = 11
+
+
+#: Event kinds that transfer control and therefore interact with the branch
+#: prediction hardware.
+BRANCH_KINDS = frozenset(
+    {
+        EventKind.CALL_DIRECT,
+        EventKind.CALL_INDIRECT,
+        EventKind.JMP_INDIRECT,
+        EventKind.JMP_DIRECT,
+        EventKind.RET,
+        EventKind.COND_BRANCH,
+    }
+)
+
+#: Event kinds that perform a data access.
+MEMORY_KINDS = frozenset(
+    {
+        EventKind.CALL_INDIRECT,
+        EventKind.JMP_INDIRECT,
+        EventKind.LOAD,
+        EventKind.STORE,
+    }
+)
+
+#: Instruction byte sizes used when an event does not carry an explicit size.
+#: These follow typical x86-64 encodings: a ``call rel32`` is 5 bytes, the
+#: PLT's ``jmp *GOT`` is 6 bytes (the full PLT stub is 16), ``ret`` is 1.
+DEFAULT_NBYTES = {
+    EventKind.CALL_DIRECT: 5,
+    EventKind.CALL_INDIRECT: 6,
+    EventKind.JMP_INDIRECT: 6,
+    EventKind.JMP_DIRECT: 5,
+    EventKind.RET: 1,
+    EventKind.COND_BRANCH: 6,
+    EventKind.LOAD: 4,
+    EventKind.STORE: 4,
+}

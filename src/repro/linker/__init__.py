@@ -1,0 +1,60 @@
+"""ELF-like linking substrate: modules, layout, dynamic/static linking,
+and the software call-site patching baseline."""
+
+from repro.linker.dynamic import (
+    IFUNC_SELECTOR_INSTRUCTIONS,
+    RESOLVER_INSTRUCTIONS,
+    RESOLVER_LOADS,
+    CallBinding,
+    DynamicLinker,
+    LinkedProgram,
+)
+from repro.linker.layout import (
+    REL32_REACH,
+    ClassicLayout,
+    CompatLayout,
+    LayoutPolicy,
+    within_rel32,
+)
+from repro.linker.module import (
+    GOT_RESERVED_SLOTS,
+    GOT_SLOT_SIZE,
+    PLT_ENTRY_SIZE,
+    PLT_PUSH_OFFSET,
+    FunctionLayout,
+    ModuleImage,
+    ModuleSpec,
+)
+from repro.linker.patcher import CallSitePatcher, PatchRecord, PatchStats
+from repro.linker.static import StaticLinker, StaticProgram
+from repro.linker.symbols import FunctionSpec, Symbol, SymbolKind, SymbolTable
+
+__all__ = [
+    "CallBinding",
+    "CallSitePatcher",
+    "ClassicLayout",
+    "CompatLayout",
+    "DynamicLinker",
+    "FunctionLayout",
+    "FunctionSpec",
+    "GOT_RESERVED_SLOTS",
+    "GOT_SLOT_SIZE",
+    "IFUNC_SELECTOR_INSTRUCTIONS",
+    "LayoutPolicy",
+    "LinkedProgram",
+    "ModuleImage",
+    "ModuleSpec",
+    "PLT_ENTRY_SIZE",
+    "PLT_PUSH_OFFSET",
+    "PatchRecord",
+    "PatchStats",
+    "REL32_REACH",
+    "RESOLVER_INSTRUCTIONS",
+    "RESOLVER_LOADS",
+    "StaticLinker",
+    "StaticProgram",
+    "Symbol",
+    "SymbolKind",
+    "SymbolTable",
+    "within_rel32",
+]

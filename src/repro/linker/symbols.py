@@ -1,0 +1,84 @@
+"""Symbols and function descriptions for the ELF-like linking substrate."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class SymbolKind(enum.Enum):
+    """Kind of a defined symbol."""
+
+    #: Ordinary function.
+    FUNC = "func"
+    #: GNU indirect function (Section 2.4.1): the address is chosen at
+    #: resolution time by a resolver from several candidate implementations.
+    IFUNC = "ifunc"
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """A function to be defined in a module.
+
+    Attributes:
+        name: global symbol name (must be unique within the module).
+        size: text bytes occupied by the function body.
+        kind: plain function or GNU ifunc.
+        ifunc_variants: for ifuncs, the number of alternative
+            implementations laid out after the resolver; the dynamic
+            linker's resolution step picks one.
+    """
+
+    name: str
+    size: int = 256
+    kind: SymbolKind = SymbolKind.FUNC
+    ifunc_variants: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size < 16:
+            raise ValueError(f"function {self.name!r} too small: {self.size}")
+        if self.kind is SymbolKind.IFUNC and self.ifunc_variants < 1:
+            raise ValueError(f"ifunc {self.name!r} needs at least one variant")
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """A resolved global symbol: its defining module and entry address."""
+
+    name: str
+    module: str
+    address: int
+    kind: SymbolKind = SymbolKind.FUNC
+
+
+@dataclass
+class SymbolTable:
+    """Global symbol table with ELF-style resolution order.
+
+    Symbols are resolved in module load order (executable first, then
+    libraries in the order they were listed), so an earlier definition
+    interposes on later ones — the semantics LD_PRELOAD relies on.
+    """
+
+    _by_name: dict[str, Symbol] = field(default_factory=dict)
+
+    def define(self, symbol: Symbol) -> bool:
+        """Add a definition; returns False if an earlier module interposed."""
+        if symbol.name in self._by_name:
+            return False
+        self._by_name[symbol.name] = symbol
+        return True
+
+    def lookup(self, name: str) -> Symbol | None:
+        """Find the winning definition of ``name``, or None."""
+        return self._by_name.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def names(self) -> list[str]:
+        """All defined symbol names."""
+        return list(self._by_name)

@@ -1,0 +1,30 @@
+"""Page-granular memory model: frames, address spaces, fork/CoW accounting."""
+
+from repro.memory.address_space import AddressSpace, Mapping
+from repro.memory.cow import CowReport, measure, patch_cost_bytes
+from repro.memory.pages import (
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    Frame,
+    Perm,
+    PhysicalMemory,
+    page_base,
+    page_of,
+    pages_spanned,
+)
+
+__all__ = [
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "AddressSpace",
+    "CowReport",
+    "Frame",
+    "Mapping",
+    "Perm",
+    "PhysicalMemory",
+    "measure",
+    "page_base",
+    "page_of",
+    "pages_spanned",
+    "patch_cost_bytes",
+]

@@ -1,0 +1,114 @@
+"""Physical page frames and permission flags.
+
+The memory model is deliberately page-granular: the paper's Section 5.5
+memory-savings argument is entirely about which *code pages* get privatised
+by copy-on-write when a software patcher writes into them, so bytes inside
+pages never need to be materialised — only frame identity, share counts and
+permissions.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+
+
+def page_of(addr: int) -> int:
+    """Virtual page number containing ``addr``."""
+    return addr >> PAGE_SHIFT
+
+
+def page_base(addr: int) -> int:
+    """Base address of the page containing ``addr``."""
+    return addr & ~(PAGE_SIZE - 1)
+
+
+def pages_spanned(addr: int, nbytes: int) -> range:
+    """Page numbers covered by the byte range ``[addr, addr + nbytes)``."""
+    if nbytes <= 0:
+        return range(0)
+    first = page_of(addr)
+    last = page_of(addr + nbytes - 1)
+    return range(first, last + 1)
+
+
+class Perm(enum.IntFlag):
+    """Page permission bits (mmap-style)."""
+
+    NONE = 0
+    R = 1
+    W = 2
+    X = 4
+    RW = R | W
+    RX = R | X
+    RWX = R | W | X
+
+
+@dataclass
+class Frame:
+    """One physical page frame.
+
+    Attributes:
+        frame_id: unique identity of the frame.
+        refcount: number of virtual mappings sharing this frame.
+        origin: label describing where the frame's contents came from
+            (e.g. ``"libc.so:text"``) — used by accounting reports.
+    """
+
+    frame_id: int
+    refcount: int = 1
+    origin: str = ""
+
+
+@dataclass
+class PhysicalMemory:
+    """System-wide physical page allocator with share accounting.
+
+    The allocator never stores page contents; it tracks how many frames
+    exist and how they are shared, which is exactly the information the
+    memory-savings experiment needs.
+    """
+
+    _next_id: itertools.count = field(default_factory=itertools.count)
+    frames: dict[int, Frame] = field(default_factory=dict)
+
+    def allocate(self, origin: str = "") -> Frame:
+        """Allocate a fresh frame with refcount 1."""
+        frame = Frame(next(self._next_id), origin=origin)
+        self.frames[frame.frame_id] = frame
+        return frame
+
+    def share(self, frame: Frame) -> Frame:
+        """Add a reference to an existing frame (e.g. on fork or mmap)."""
+        frame.refcount += 1
+        return frame
+
+    def release(self, frame: Frame) -> None:
+        """Drop a reference; the frame is freed when the count reaches 0."""
+        frame.refcount -= 1
+        if frame.refcount <= 0:
+            del self.frames[frame.frame_id]
+
+    def copy_on_write(self, frame: Frame) -> Frame:
+        """Privatise one reference to ``frame``: drop a ref, allocate a copy."""
+        copy = self.allocate(origin=frame.origin + "+cow")
+        self.release(frame)
+        return copy
+
+    @property
+    def total_frames(self) -> int:
+        """Number of live physical frames."""
+        return len(self.frames)
+
+    @property
+    def total_bytes(self) -> int:
+        """Live physical memory in bytes."""
+        return len(self.frames) * PAGE_SIZE
+
+    def frames_with_origin(self, prefix: str) -> list[Frame]:
+        """Live frames whose origin starts with ``prefix``."""
+        return [f for f in self.frames.values() if f.origin.startswith(prefix)]

@@ -1,0 +1,21 @@
+"""Execution engine and trace utilities."""
+
+from repro.trace.engine import (
+    CALL_SITE_LEN,
+    CallStyle,
+    PATCH_OVERHEAD_INSTRUCTIONS,
+    RESOLVER_TEXT_BASE,
+    SYMTAB_DATA_BASE,
+    ExecutionEngine,
+    LinkMode,
+)
+
+__all__ = [
+    "CALL_SITE_LEN",
+    "CallStyle",
+    "ExecutionEngine",
+    "LinkMode",
+    "PATCH_OVERHEAD_INSTRUCTIONS",
+    "RESOLVER_TEXT_BASE",
+    "SYMTAB_DATA_BASE",
+]

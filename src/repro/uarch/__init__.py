@@ -1,0 +1,24 @@
+"""Microarchitectural models: caches, TLBs, branch prediction, CPU."""
+
+from repro.uarch.btb import BTB
+from repro.uarch.cache import SetAssociativeCache
+from repro.uarch.counters import PerfCounters
+from repro.uarch.cpu import CPU, CPUConfig, Mark
+from repro.uarch.multicore import DualCoreSystem
+from repro.uarch.predictor import GsharePredictor, ReturnAddressStack
+from repro.uarch.timing import TimingModel
+from repro.uarch.tlb import TLB
+
+__all__ = [
+    "BTB",
+    "CPU",
+    "CPUConfig",
+    "DualCoreSystem",
+    "GsharePredictor",
+    "Mark",
+    "PerfCounters",
+    "ReturnAddressStack",
+    "SetAssociativeCache",
+    "TLB",
+    "TimingModel",
+]

@@ -1,0 +1,74 @@
+"""Branch target buffer model.
+
+The BTB stores predicted targets indexed by branch PC.  It is the structure
+the paper's mechanism reuses: the modified update logic writes the *library
+function* address into a call site's entry instead of the trampoline
+address, which is what makes the front end skip the trampoline.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class BTB:
+    """Set-associative branch target buffer with LRU replacement."""
+
+    def __init__(self, entries: int = 2048, ways: int = 4) -> None:
+        if entries % ways != 0:
+            raise ConfigError(f"BTB: {entries} entries not divisible by {ways} ways")
+        self.ways = ways
+        self.n_sets = entries // ways
+        if self.n_sets & (self.n_sets - 1):
+            raise ConfigError(f"BTB: set count {self.n_sets} must be a power of two")
+        self._set_mask = self.n_sets - 1
+        # Per set: pc -> (target, stamp)
+        self._sets: list[dict[int, tuple[int, int]]] = [dict() for _ in range(self.n_sets)]
+        self._stamp = 0
+        self.lookups = 0
+        self.misses = 0
+        self.updates = 0
+
+    def _set_for(self, pc: int) -> dict[int, tuple[int, int]]:
+        return self._sets[(pc >> 2) & self._set_mask]
+
+    def lookup(self, pc: int) -> int | None:
+        """Predicted target for the branch at ``pc`` (None on miss)."""
+        self.lookups += 1
+        entries = self._set_for(pc)
+        hit = entries.get(pc)
+        if hit is None:
+            self.misses += 1
+            return None
+        self._stamp += 1
+        entries[pc] = (hit[0], self._stamp)
+        return hit[0]
+
+    def update(self, pc: int, target: int) -> None:
+        """Install or correct the target for the branch at ``pc``."""
+        self.updates += 1
+        self._stamp += 1
+        entries = self._set_for(pc)
+        if pc not in entries and len(entries) >= self.ways:
+            victim = min(entries, key=lambda k: entries[k][1])
+            del entries[victim]
+        entries[pc] = (target, self._stamp)
+
+    def peek(self, pc: int) -> int | None:
+        """Non-mutating probe (no stats, no LRU update)."""
+        hit = self._set_for(pc).get(pc)
+        return hit[0] if hit is not None else None
+
+    def invalidate(self, pc: int) -> None:
+        """Drop the entry for one branch if present."""
+        self._set_for(pc).pop(pc, None)
+
+    def flush(self) -> None:
+        """Invalidate every entry."""
+        for entries in self._sets:
+            entries.clear()
+
+    @property
+    def occupancy(self) -> int:
+        """Number of live entries."""
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,91 @@
+"""Set-associative cache model with LRU replacement.
+
+Only hit/miss behaviour is modelled (no data): the paper's results are
+counts of misses per kilo-instruction, which depend on tag state alone.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class SetAssociativeCache:
+    """A set-associative, LRU, allocate-on-miss cache.
+
+    Used for both L1I and L1D.  Addresses are byte addresses; the cache
+    indexes by line.
+    """
+
+    def __init__(self, name: str, size_bytes: int, line_bytes: int, ways: int) -> None:
+        if size_bytes % (line_bytes * ways) != 0:
+            raise ConfigError(
+                f"{name}: size {size_bytes} not divisible by line*ways {line_bytes * ways}"
+            )
+        self.name = name
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.n_sets = size_bytes // (line_bytes * ways)
+        if self.n_sets & (self.n_sets - 1):
+            raise ConfigError(f"{name}: set count {self.n_sets} must be a power of two")
+        self._set_mask = self.n_sets - 1
+        self._line_shift = line_bytes.bit_length() - 1
+        if (1 << self._line_shift) != line_bytes:
+            raise ConfigError(f"{name}: line size {line_bytes} must be a power of two")
+        # Per set: dict tag -> last-use stamp. Dicts are tiny (<= ways).
+        self._sets: list[dict[int, int]] = [dict() for _ in range(self.n_sets)]
+        self._stamp = 0
+        self.accesses = 0
+        self.misses = 0
+
+    def access_line(self, line: int) -> bool:
+        """Access one cache line by line number; returns True on hit."""
+        self.accesses += 1
+        self._stamp += 1
+        index = line & self._set_mask
+        tag = line >> self._set_mask.bit_length() if self._set_mask else line
+        entries = self._sets[index]
+        if tag in entries:
+            entries[tag] = self._stamp
+            return True
+        self.misses += 1
+        if len(entries) >= self.ways:
+            victim = min(entries, key=entries.__getitem__)
+            del entries[victim]
+        entries[tag] = self._stamp
+        return False
+
+    def access(self, addr: int) -> bool:
+        """Access the line containing byte address ``addr``."""
+        return self.access_line(addr >> self._line_shift)
+
+    def access_range(self, addr: int, nbytes: int) -> int:
+        """Access every line covered by ``[addr, addr+nbytes)``; returns misses."""
+        if nbytes <= 0:
+            return 0
+        first = addr >> self._line_shift
+        last = (addr + nbytes - 1) >> self._line_shift
+        before = self.misses
+        for line in range(first, last + 1):
+            self.access_line(line)
+        return self.misses - before
+
+    def line_of(self, addr: int) -> int:
+        """Line number containing ``addr``."""
+        return addr >> self._line_shift
+
+    def contains(self, addr: int) -> bool:
+        """Non-mutating residency probe (no stats, no LRU update)."""
+        line = self.line_of(addr)
+        index = line & self._set_mask
+        tag = line >> self._set_mask.bit_length() if self._set_mask else line
+        return tag in self._sets[index]
+
+    def flush(self) -> None:
+        """Invalidate all lines (stats are preserved)."""
+        for entries in self._sets:
+            entries.clear()
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of accesses that missed."""
+        return self.misses / self.accesses if self.accesses else 0.0

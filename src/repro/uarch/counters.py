@@ -1,0 +1,111 @@
+"""Performance counters — the model's equivalent of the paper's VTune runs.
+
+Counter names mirror Table 4 of the paper (misses and mispredictions per
+kilo-instruction) plus mechanism-specific counters used by Figure 5 and
+the ablation experiments.
+"""
+
+from __future__ import annotations
+
+_FIELDS = (
+    "instructions",
+    "cycles",
+    "l1i_accesses",
+    "l1i_misses",
+    "l1d_accesses",
+    "l1d_misses",
+    "l2_accesses",
+    "l2_misses",
+    "itlb_accesses",
+    "itlb_misses",
+    "dtlb_accesses",
+    "dtlb_misses",
+    "branches",
+    "branch_mispredictions",
+    "btb_lookups",
+    "btb_misses",
+    "loads",
+    "stores",
+    "trampolines_executed",
+    "trampolines_skipped",
+    "trampoline_instructions",
+    "got_loads",
+    "resolver_runs",
+    "abtb_hits",
+    "abtb_misses",
+    "abtb_inserts",
+    "abtb_flushes",
+    "bloom_store_hits",
+    "context_switches",
+)
+
+
+class PerfCounters:
+    """A bundle of monotonically increasing event counters.
+
+    Supports snapshot/delta arithmetic so experiments can attribute costs
+    to individual requests, and PKI normalisation for paper-style tables.
+    """
+
+    __slots__ = _FIELDS
+
+    def __init__(self, **initial: int) -> None:
+        for name in _FIELDS:
+            setattr(self, name, initial.pop(name, 0))
+        if initial:
+            raise TypeError(f"unknown counter(s): {sorted(initial)}")
+
+    @staticmethod
+    def field_names() -> tuple[str, ...]:
+        """All counter names in declaration order."""
+        return _FIELDS
+
+    def copy(self) -> "PerfCounters":
+        """An independent snapshot of the current values."""
+        out = PerfCounters()
+        for name in _FIELDS:
+            setattr(out, name, getattr(self, name))
+        return out
+
+    def delta(self, earlier: "PerfCounters") -> "PerfCounters":
+        """Counters accumulated since ``earlier`` (self - earlier)."""
+        out = PerfCounters()
+        for name in _FIELDS:
+            setattr(out, name, getattr(self, name) - getattr(earlier, name))
+        return out
+
+    def merge(self, other: "PerfCounters") -> "PerfCounters":
+        """Element-wise sum into a new bundle (multi-run aggregation)."""
+        out = PerfCounters()
+        for name in _FIELDS:
+            setattr(out, name, getattr(self, name) + getattr(other, name))
+        return out
+
+    def pki(self, field: str) -> float:
+        """A counter normalised per kilo-instruction, as the paper reports."""
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * getattr(self, field) / self.instructions
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction."""
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain dict of all counters."""
+        return {name: getattr(self, name) for name in _FIELDS}
+
+    def table4_row(self) -> dict[str, float]:
+        """The five PKI metrics of the paper's Table 4."""
+        return {
+            "I-$ Misses": self.pki("l1i_misses"),
+            "I-TLB Misses": self.pki("itlb_misses"),
+            "D-$ Misses": self.pki("l1d_misses"),
+            "D-TLB Misses": self.pki("dtlb_misses"),
+            "Branch Mispredictions": self.pki("branch_mispredictions"),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{n}={getattr(self, n)}" for n in _FIELDS if getattr(self, n))
+        return f"PerfCounters({inner})"

@@ -1,0 +1,455 @@
+"""Trace-driven CPU front-end model.
+
+The CPU consumes a stream of :class:`~repro.isa.events.TraceEvent` and
+charges every structural effect the paper measures: L1I/L1D line touches,
+I-TLB/D-TLB page touches, BTB lookups, direction predictions, RAS
+operations and the resulting cycle costs.
+
+When constructed with a :class:`~repro.core.TrampolineSkipMechanism`, the
+model implements the paper's protocol:
+
+* a ``call`` immediately followed by the indirect branch at its target is a
+  *trampoline pair*;
+* at the pair's retirement the mechanism learns the trampoline→function
+  mapping and the call's BTB entry is promoted to the function address;
+* on later executions the promoted prediction is validated against the
+  ABTB and the trampoline is skipped entirely — no fetch, no GOT load, no
+  second BTB entry;
+* retired stores are snooped against the Bloom filter; hits flush the ABTB
+  and execution degrades gracefully to baseline behaviour.
+
+Misprediction accounting is deliberately symmetric between base and
+enhanced configurations (Section 3.3's parity argument): direct branches
+never count as mispredictions (a BTB miss on one costs only a small
+front-end bubble), while indirect branches, conditional direction errors
+and RAS mismatches count fully in both systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.mechanism import TrampolineSkipMechanism
+from repro.errors import TraceError
+from repro.isa.events import TraceEvent
+from repro.isa.kinds import EventKind
+from repro.uarch.btb import BTB
+from repro.uarch.cache import SetAssociativeCache
+from repro.uarch.counters import PerfCounters
+from repro.uarch.predictor import GsharePredictor, ReturnAddressStack
+from repro.uarch.timing import TimingModel
+from repro.uarch.tlb import TLB
+
+
+@dataclass(frozen=True)
+class CPUConfig:
+    """Structure sizes, defaulting to the paper's Xeon E5450 testbed.
+
+    Attributes:
+        l1i_bytes / l1i_ways: instruction cache geometry (32 KB, 8-way).
+        l1d_bytes / l1d_ways: data cache geometry (32 KB, 8-way).
+        l2_bytes / l2_ways: unified second-level cache (scaled from the
+            E5450's shared 6 MB per core pair to the model's footprints).
+        line_bytes: cache line size (64 B — four PLT stubs per line).
+        itlb_entries / itlb_ways, dtlb_entries / dtlb_ways: TLB geometry.
+        btb_entries / btb_ways: branch target buffer geometry (scaled
+            to the synthetic workloads' branch-PC footprint).
+        gshare_entries / history_bits: direction predictor geometry.
+        ras_depth: return-address stack depth.
+        direct_btb_bubble: cycles lost when a *direct* branch misses the
+            BTB (front-end redirect at decode, not a true misprediction).
+        timing: penalty table for the cycle model.
+    """
+
+    l1i_bytes: int = 32 * 1024
+    l1i_ways: int = 8
+    l1d_bytes: int = 32 * 1024
+    l1d_ways: int = 8
+    l2_bytes: int = 4 * 1024 * 1024
+    l2_ways: int = 16
+    line_bytes: int = 64
+    itlb_entries: int = 128
+    itlb_ways: int = 4
+    dtlb_entries: int = 256
+    dtlb_ways: int = 4
+    btb_entries: int = 2048
+    btb_ways: int = 4
+    gshare_entries: int = 4096
+    history_bits: int = 12
+    ras_depth: int = 16
+    direct_btb_bubble: float = 3.0
+    timing: TimingModel = field(default_factory=TimingModel)
+
+
+@dataclass
+class Mark:
+    """A request/phase boundary observed in the trace."""
+
+    tag: object
+    instructions: int
+    cycles: float
+
+
+class CPU:
+    """One simulated core, optionally equipped with the skip mechanism."""
+
+    def __init__(
+        self,
+        config: CPUConfig | None = None,
+        mechanism: TrampolineSkipMechanism | None = None,
+    ) -> None:
+        self.config = config if config is not None else CPUConfig()
+        cfg = self.config
+        self.mechanism = mechanism
+        self.l1i = SetAssociativeCache("L1I", cfg.l1i_bytes, cfg.line_bytes, cfg.l1i_ways)
+        self.l1d = SetAssociativeCache("L1D", cfg.l1d_bytes, cfg.line_bytes, cfg.l1d_ways)
+        self.l2 = SetAssociativeCache("L2", cfg.l2_bytes, cfg.line_bytes, cfg.l2_ways)
+        self.itlb = TLB("ITLB", cfg.itlb_entries, cfg.itlb_ways)
+        self.dtlb = TLB("DTLB", cfg.dtlb_entries, cfg.dtlb_ways)
+        self.btb = BTB(cfg.btb_entries, cfg.btb_ways)
+        self.gshare = GsharePredictor(cfg.gshare_entries, cfg.history_bits)
+        self.ras = ReturnAddressStack(cfg.ras_depth)
+        self.counters = PerfCounters()
+        self.cycles = 0.0
+        self.marks: list[Mark] = []
+
+    # ------------------------------------------------------------ plumbing
+
+    def _fetch(self, ev: TraceEvent) -> None:
+        """Charge instruction fetch for an event's code bytes."""
+        c = self.counters
+        t = self.config.timing
+        c.instructions += ev.n_instr
+        self.cycles += ev.n_instr * t.base_cpi
+
+        shift = self.l1i._line_shift
+        first = ev.pc >> shift
+        last = (ev.pc + max(ev.nbytes, 1) - 1) >> shift
+        c.l1i_accesses += last - first + 1
+        for line in range(first, last + 1):
+            if not self.l1i.access_line(line):
+                c.l1i_misses += 1
+                self.cycles += t.l1i_miss
+                c.l2_accesses += 1
+                if not self.l2.access_line(line):
+                    c.l2_misses += 1
+                    self.cycles += t.l2_miss
+
+        pshift = self.itlb._page_shift
+        pfirst = ev.pc >> pshift
+        plast = (ev.pc + max(ev.nbytes, 1) - 1) >> pshift
+        c.itlb_accesses += plast - pfirst + 1
+        before = self.itlb.misses
+        for vpn in range(pfirst, plast + 1):
+            self.itlb.access_page(vpn)
+        t_misses = self.itlb.misses - before
+        c.itlb_misses += t_misses
+        self.cycles += t_misses * t.itlb_miss
+
+    def _data_access(self, addr: int, is_store: bool) -> None:
+        """Charge a data-side access (D-TLB walk + L1D line)."""
+        c = self.counters
+        t = self.config.timing
+        if is_store:
+            c.stores += 1
+        else:
+            c.loads += 1
+        if not self.dtlb.access(addr):
+            c.dtlb_misses += 1
+            self.cycles += t.dtlb_miss
+        c.dtlb_accesses += 1
+        if not self.l1d.access(addr):
+            c.l1d_misses += 1
+            self.cycles += t.l1d_miss
+            c.l2_accesses += 1
+            if not self.l2.access(addr):
+                c.l2_misses += 1
+                self.cycles += t.l2_miss
+        c.l1d_accesses += 1
+
+    def _mispredict(self) -> None:
+        self.counters.branch_mispredictions += 1
+        self.cycles += self.config.timing.mispredict
+
+    def _btb_lookup(self, pc: int) -> int | None:
+        self.counters.btb_lookups += 1
+        target = self.btb.lookup(pc)
+        if target is None:
+            self.counters.btb_misses += 1
+        return target
+
+    # ------------------------------------------------------------- events
+
+    def run(self, events) -> PerfCounters:
+        """Process an event stream; returns the (live) counter bundle."""
+        it = iter(events)
+        pending: list[TraceEvent] = []
+        K = EventKind
+        while True:
+            if pending:
+                ev = pending.pop(0)
+            else:
+                ev = next(it, None)
+                if ev is None:
+                    break
+            kind = ev.kind
+            if kind == K.BLOCK:
+                self._fetch(ev)
+            elif kind == K.CALL_DIRECT:
+                nxt = pending.pop(0) if pending else next(it, None)
+                if nxt is not None and nxt.kind == K.JMP_INDIRECT and nxt.pc == ev.target:
+                    # x86-64 stub: the indirect branch is the whole body.
+                    self._trampoline_pair(ev, nxt)
+                elif (
+                    nxt is not None
+                    and nxt.kind == K.BLOCK
+                    and nxt.pc == ev.target
+                    and nxt.nbytes <= 12
+                ):
+                    # ARM-style stub: an address-computation prefix before
+                    # the indirect branch (paper Figure 2b).
+                    nxt2 = pending.pop(0) if pending else next(it, None)
+                    if (
+                        nxt2 is not None
+                        and nxt2.kind == K.JMP_INDIRECT
+                        and nxt2.pc == nxt.pc + nxt.nbytes
+                    ):
+                        self._trampoline_pair(ev, nxt2, stub=nxt)
+                    else:
+                        self._call_direct(ev)
+                        pending = [e for e in (nxt, nxt2) if e is not None] + pending
+                else:
+                    self._call_direct(ev)
+                    if nxt is not None:
+                        pending.insert(0, nxt)
+            elif kind == K.LOAD:
+                self._fetch(ev)
+                self._data_access(ev.mem_addr, is_store=False)
+            elif kind == K.STORE:
+                self._fetch(ev)
+                self._data_access(ev.mem_addr, is_store=True)
+                if self.mechanism is not None:
+                    self.mechanism.snoop_store(ev.mem_addr)
+                    if ev.tag == "got-store" and not self.mechanism.config.use_bloom:
+                        # Section 3.4: without the Bloom filter, software
+                        # (the dynamic linker) explicitly invalidates the
+                        # ABTB whenever it rewrites a GOT slot.
+                        self.mechanism.invalidate()
+            elif kind == K.COND_BRANCH:
+                self._cond_branch(ev)
+            elif kind == K.RET:
+                self._ret(ev)
+            elif kind == K.CALL_INDIRECT:
+                self._call_indirect(ev)
+            elif kind == K.JMP_INDIRECT:
+                # An indirect jump outside a trampoline pair (e.g. the
+                # resolver's final jump to the function).
+                self._jmp_indirect(ev)
+            elif kind == K.JMP_DIRECT:
+                self._jmp_direct(ev)
+            elif kind == K.COHERENCE_INVAL:
+                # A remote core invalidated this line; no local execution,
+                # but the mechanism snoops it like a store (Section 3.2).
+                if self.mechanism is not None:
+                    self.mechanism.coherence_invalidate(ev.mem_addr)
+            elif kind == K.CONTEXT_SWITCH:
+                self._context_switch()
+            elif kind == K.MARK:
+                self.marks.append(Mark(ev.tag, self.counters.instructions, self.cycles))
+            else:  # pragma: no cover - exhaustive dispatch
+                raise TraceError(f"unhandled event kind {kind!r}")
+        self.counters.cycles = self.cycles
+        return self.counters
+
+    # -------------------------------------------------------- branch kinds
+
+    def _call_direct(self, ev: TraceEvent) -> None:
+        """A direct call that is not a trampoline pair head."""
+        self._fetch(ev)
+        self.counters.branches += 1
+        self.ras.push(ev.pc + ev.nbytes)
+        pred = self._btb_lookup(ev.pc)
+        if pred is None:
+            # Direct target: decode redirects the front end — a bubble,
+            # not an architectural misprediction.
+            self.cycles += self.config.direct_btb_bubble
+            self.btb.update(ev.pc, ev.target)
+        elif pred != ev.target:
+            # Only possible if the entry was promoted and then the pair
+            # vanished (e.g. a patched binary); treat as a full flush.
+            self._mispredict()
+            self.btb.update(ev.pc, ev.target)
+
+    def _jmp_direct(self, ev: TraceEvent) -> None:
+        self._fetch(ev)
+        self.counters.branches += 1
+        pred = self._btb_lookup(ev.pc)
+        if pred is None:
+            self.cycles += self.config.direct_btb_bubble
+            self.btb.update(ev.pc, ev.target)
+
+    def _call_indirect(self, ev: TraceEvent) -> None:
+        self._fetch(ev)
+        if ev.mem_addr:
+            self._data_access(ev.mem_addr, is_store=False)
+        self.counters.branches += 1
+        self.ras.push(ev.pc + ev.nbytes)
+        pred = self._btb_lookup(ev.pc)
+        if pred != ev.target:
+            self._mispredict()
+        self.btb.update(ev.pc, ev.target)
+
+    def _jmp_indirect(self, ev: TraceEvent) -> None:
+        """Indirect jump executed outside the trampoline-pair fast path."""
+        self._fetch(ev)
+        if ev.mem_addr:
+            self._data_access(ev.mem_addr, is_store=False)
+            self.counters.got_loads += 1
+        self.counters.branches += 1
+        if ev.tag == "plt":
+            # A trampoline reached by a tail call (jmp, not call): it
+            # executes but the mechanism's call+branch pattern never
+            # learns it (Section 2.3's "unconventional tricks").
+            self.counters.trampolines_executed += 1
+            self.counters.trampoline_instructions += 1
+        pred = self._btb_lookup(ev.pc)
+        if pred != ev.target:
+            self._mispredict()
+        self.btb.update(ev.pc, ev.target)
+
+    def _cond_branch(self, ev: TraceEvent) -> None:
+        self._fetch(ev)
+        self.counters.branches += 1
+        if self.gshare.record(ev.pc, ev.taken):
+            self._mispredict()
+        if ev.taken:
+            pred = self._btb_lookup(ev.pc)
+            if pred is None:
+                self.cycles += self.config.direct_btb_bubble
+            self.btb.update(ev.pc, ev.target)
+
+    def _ret(self, ev: TraceEvent) -> None:
+        self._fetch(ev)
+        self.counters.branches += 1
+        if self.ras.pop_and_check(ev.target):
+            self._mispredict()
+
+    # ----------------------------------------------------- trampoline pair
+
+    def _trampoline_pair(
+        self, call: TraceEvent, jmp: TraceEvent, stub: TraceEvent | None = None
+    ) -> None:
+        """A library call: ``call plt_stub`` + stub body ending in ``jmp *GOT``.
+
+        ``stub`` carries the ARM-style address-computation prefix (None on
+        x86-64).  With the mechanism enabled and the call's BTB entry
+        promoted, the whole stub is skipped: its events are consumed
+        without charging any structure — the instructions are never
+        fetched or executed (3 instructions saved per call on ARM, 1 on
+        x86-64).
+        """
+        c = self.counters
+        mech = self.mechanism
+
+        self._fetch(call)
+        c.branches += 1
+        self.ras.push(call.pc + call.nbytes)
+        pred = self._btb_lookup(call.pc)
+        real = call.target  # the trampoline (PLT stub) address
+
+        if mech is not None:
+            mapped = mech.mapped_target(real)
+            if mapped is not None:
+                c.abtb_hits += 1
+            else:
+                c.abtb_misses += 1
+
+            if mapped is not None and pred == mapped:
+                # Promoted prediction validated by the ABTB: the trampoline
+                # was never fetched.  (With the Bloom filter active the
+                # mapping can never be stale; without it, a stale mapping is
+                # a §3.4 contract violation that we count.)
+                if mapped != jmp.target:
+                    mech.note_unsafe_skip()
+                c.trampolines_skipped += 1
+                return
+
+            # The modified update logic always installs the ABTB-mapped
+            # target when one exists (promotion), else the real target.
+            update_target = mapped if mapped is not None else real
+            if pred is not None and pred != real and pred != (mapped or -1):
+                # Wrong-path fetch (e.g. promoted entry surviving an ABTB
+                # flush): full pipeline flush, refetch of the trampoline.
+                self._mispredict()
+                self.btb.update(call.pc, update_target)
+            elif pred is None:
+                self.cycles += self.config.direct_btb_bubble
+                self.btb.update(call.pc, update_target)
+                if mapped is not None:
+                    mech.note_promotion()
+            elif mapped is not None and pred == real:
+                # Correct trampoline-path prediction, but the modified
+                # update logic promotes the entry to the function address.
+                self.btb.update(call.pc, mapped)
+                mech.note_promotion()
+        else:
+            if pred is None:
+                self.cycles += self.config.direct_btb_bubble
+                self.btb.update(call.pc, real)
+            elif pred != real:
+                self._mispredict()
+                self.btb.update(call.pc, real)
+
+        # --- the trampoline executes ---
+        c.trampolines_executed += 1
+        c.trampoline_instructions += 1 + (stub.n_instr if stub is not None else 0)
+        if stub is not None:
+            self._fetch(stub)
+        self._fetch(jmp)
+        if jmp.mem_addr:
+            self._data_access(jmp.mem_addr, is_store=False)
+            c.got_loads += 1
+        c.branches += 1
+        tpred = self._btb_lookup(jmp.pc)
+        if tpred != jmp.target:
+            self._mispredict()
+        self.btb.update(jmp.pc, jmp.target)
+
+        # --- retire-time learning ---
+        # The ABTB is indexed by the call's real target (the stub address):
+        # on x86-64 that equals the indirect branch's PC, on ARM the branch
+        # sits after the stub's address-computation prefix.
+        if mech is not None and jmp.mem_addr:
+            mech.learn(call.pc, real, jmp.target, jmp.mem_addr)
+            c.abtb_inserts += 1
+            # Promote the call's BTB entry as the pair retires: the next
+            # execution can already skip.  (On a first call this installs
+            # the stub's lazy-resolution target, which the resolver's GOT
+            # store immediately invalidates via the Bloom filter — one
+            # extra startup misprediction, never in steady state.)
+            self.btb.update(call.pc, jmp.target)
+            mech.note_promotion()
+
+    # ------------------------------------------------------ context switch
+
+    def _context_switch(self) -> None:
+        self.counters.context_switches += 1
+        self.itlb.flush()
+        self.dtlb.flush()
+        self.btb.flush()  # another process's branches evict our entries
+        self.ras.clear()
+        self.gshare.reset_history()
+        if self.mechanism is not None:
+            flushes_before = self.mechanism.abtb.flushes
+            self.mechanism.on_context_switch()
+            self.counters.abtb_flushes += self.mechanism.abtb.flushes - flushes_before
+
+    # ----------------------------------------------------------- reporting
+
+    def finalize(self) -> PerfCounters:
+        """Sync the cycle accumulator into the counters and return them."""
+        self.counters.cycles = self.cycles
+        if self.mechanism is not None:
+            self.counters.abtb_flushes = self.mechanism.abtb.flushes
+            self.counters.bloom_store_hits = self.mechanism.stats.store_flushes
+        return self.counters

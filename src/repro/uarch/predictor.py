@@ -1,0 +1,81 @@
+"""Conditional-branch direction predictor (gshare) and return-address stack."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class GsharePredictor:
+    """Classic gshare: global history XOR PC indexing a 2-bit counter table."""
+
+    def __init__(self, table_entries: int = 4096, history_bits: int = 12) -> None:
+        if table_entries & (table_entries - 1):
+            raise ConfigError(f"gshare table size {table_entries} must be a power of two")
+        self._mask = table_entries - 1
+        self._history_mask = (1 << history_bits) - 1
+        # 2-bit saturating counters, initialised weakly taken.
+        self._table = bytearray([2] * table_entries)
+        self._history = 0
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+        return self._table[self._index(pc)] >= 2
+
+    def record(self, pc: int, taken: bool) -> bool:
+        """Predict, then train on the outcome; returns True on mispredict."""
+        self.predictions += 1
+        index = self._index(pc)
+        predicted = self._table[index] >= 2
+        counter = self._table[index]
+        if taken:
+            self._table[index] = min(3, counter + 1)
+        else:
+            self._table[index] = max(0, counter - 1)
+        self._history = ((self._history << 1) | (1 if taken else 0)) & self._history_mask
+        mispredicted = predicted != taken
+        if mispredicted:
+            self.mispredictions += 1
+        return mispredicted
+
+    def reset_history(self) -> None:
+        """Clear the global history register (context switch)."""
+        self._history = 0
+
+
+class ReturnAddressStack:
+    """Fixed-depth RAS; overflows wrap, underflows mispredict."""
+
+    def __init__(self, depth: int = 16) -> None:
+        if depth < 1:
+            raise ConfigError("RAS depth must be positive")
+        self.depth = depth
+        self._stack: list[int] = []
+        self.pushes = 0
+        self.pops = 0
+        self.mispredictions = 0
+
+    def push(self, return_addr: int) -> None:
+        """Record a call's return address."""
+        self.pushes += 1
+        if len(self._stack) >= self.depth:
+            # Overflow: oldest entry is lost (circular RAS).
+            self._stack.pop(0)
+        self._stack.append(return_addr)
+
+    def pop_and_check(self, actual_target: int) -> bool:
+        """Predict a return; returns True if the prediction was wrong."""
+        self.pops += 1
+        predicted = self._stack.pop() if self._stack else None
+        if predicted != actual_target:
+            self.mispredictions += 1
+            return True
+        return False
+
+    def clear(self) -> None:
+        """Empty the stack (context switch)."""
+        self._stack.clear()

@@ -1,0 +1,71 @@
+"""Translation lookaside buffer model (set-associative, LRU)."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.memory.pages import PAGE_SHIFT
+
+
+class TLB:
+    """A set-associative TLB over 4 KB pages.
+
+    Like the cache model, only reach (which pages are resident) is
+    simulated; translations themselves are identity.
+    """
+
+    def __init__(self, name: str, entries: int, ways: int, page_shift: int = PAGE_SHIFT) -> None:
+        if entries % ways != 0:
+            raise ConfigError(f"{name}: {entries} entries not divisible by {ways} ways")
+        self.name = name
+        self.ways = ways
+        self.n_sets = entries // ways
+        if self.n_sets & (self.n_sets - 1):
+            raise ConfigError(f"{name}: set count {self.n_sets} must be a power of two")
+        self._set_mask = self.n_sets - 1
+        self._page_shift = page_shift
+        self._sets: list[dict[int, int]] = [dict() for _ in range(self.n_sets)]
+        self._stamp = 0
+        self.accesses = 0
+        self.misses = 0
+
+    def access_page(self, vpn: int) -> bool:
+        """Translate one page; returns True on hit."""
+        self.accesses += 1
+        self._stamp += 1
+        index = vpn & self._set_mask
+        tag = vpn >> self._set_mask.bit_length() if self._set_mask else vpn
+        entries = self._sets[index]
+        if tag in entries:
+            entries[tag] = self._stamp
+            return True
+        self.misses += 1
+        if len(entries) >= self.ways:
+            victim = min(entries, key=entries.__getitem__)
+            del entries[victim]
+        entries[tag] = self._stamp
+        return False
+
+    def access(self, addr: int) -> bool:
+        """Translate the page containing ``addr``."""
+        return self.access_page(addr >> self._page_shift)
+
+    def access_range(self, addr: int, nbytes: int) -> int:
+        """Translate all pages in ``[addr, addr+nbytes)``; returns misses."""
+        if nbytes <= 0:
+            return 0
+        first = addr >> self._page_shift
+        last = (addr + nbytes - 1) >> self._page_shift
+        before = self.misses
+        for vpn in range(first, last + 1):
+            self.access_page(vpn)
+        return self.misses - before
+
+    def flush(self) -> None:
+        """Invalidate all translations (a context switch without ASIDs)."""
+        for entries in self._sets:
+            entries.clear()
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of translations that missed."""
+        return self.misses / self.accesses if self.accesses else 0.0

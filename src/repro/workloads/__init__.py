@@ -1,0 +1,37 @@
+"""Synthetic workload models calibrated to the paper's four applications."""
+
+from repro.workloads import apache, firefox, memcached, mysql
+from repro.workloads.base import (
+    CallPair,
+    LibrarySpec,
+    RequestClass,
+    Workload,
+    WorkloadConfig,
+    stable_hash,
+)
+from repro.workloads.profiles import PopularityProfile, WeightedSampler
+
+#: Workload registry: name -> module providing ``config()`` and the
+#: paper's calibration constants.
+ALL_WORKLOADS = {
+    "apache": apache,
+    "firefox": firefox,
+    "memcached": memcached,
+    "mysql": mysql,
+}
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "CallPair",
+    "LibrarySpec",
+    "PopularityProfile",
+    "RequestClass",
+    "WeightedSampler",
+    "Workload",
+    "WorkloadConfig",
+    "apache",
+    "firefox",
+    "memcached",
+    "mysql",
+    "stable_hash",
+]

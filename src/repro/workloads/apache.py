@@ -1,0 +1,91 @@
+"""Apache web server + SPECweb 2009 workload model.
+
+Calibration targets from the paper:
+
+* Table 2 — 12.23 trampoline instructions per kilo-instruction (the most
+  library-call-intensive workload studied);
+* Table 3 — 501 distinct trampolines across the app and its libraries;
+* Figure 4 — a steep popularity cutoff: a specific core set of library
+  calls is made for every request serviced;
+* Figure 6 — six SPECweb request classes whose mean response time improves
+  by up to 4 % when trampolines are skipped, with tails unaffected.
+
+Apache runs the prefork MPM (one process per worker), which is what makes
+the software-patching baseline waste memory (Section 5.5): the model
+therefore exposes ``prefork=True`` metadata used by the memory experiment.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import LibrarySpec, RequestClass, WorkloadConfig
+from repro.workloads.profiles import PopularityProfile
+
+#: Paper's Table 2 value for Apache (trampoline instructions PKI).
+PAPER_TRAMPOLINE_PKI = 12.23
+#: Paper's Table 3 value for Apache (distinct trampolines).
+PAPER_DISTINCT_TRAMPOLINES = 501
+#: Apache uses the prefork MPM: request handling processes are forked.
+PREFORK = True
+
+#: SPECweb 2009 request classes (the six panels of Figure 6).
+REQUEST_CLASSES = (
+    RequestClass(
+        "Home", weight=0.18, segments=120, segment_instr=34, call_prob=0.88,
+        lib_body_instr=42, nested_prob=0.33, loads_per_segment=2, stores_per_segment=1, repeat_prob=0.55, phase_len=48, phase_set=3, app_phase_fns=40,
+    ),
+    RequestClass(
+        "Catalog", weight=0.22, segments=150, segment_instr=35, call_prob=0.88,
+        lib_body_instr=42, nested_prob=0.33, loads_per_segment=2, stores_per_segment=1, repeat_prob=0.55, phase_len=48, phase_set=3, app_phase_fns=40,
+    ),
+    RequestClass(
+        "FileCatalog", weight=0.18, segments=140, segment_instr=34, call_prob=0.90,
+        lib_body_instr=40, nested_prob=0.32, loads_per_segment=3, stores_per_segment=1, repeat_prob=0.55, phase_len=48, phase_set=3, app_phase_fns=40,
+    ),
+    RequestClass(
+        "File", weight=0.16, segments=110, segment_instr=36, call_prob=0.86,
+        lib_body_instr=44, nested_prob=0.30, loads_per_segment=3, stores_per_segment=1, repeat_prob=0.55, phase_len=48, phase_set=3, app_phase_fns=40,
+    ),
+    RequestClass(
+        "Index", weight=0.14, segments=130, segment_instr=35, call_prob=0.89,
+        lib_body_instr=41, nested_prob=0.34, loads_per_segment=2, stores_per_segment=1, repeat_prob=0.55, phase_len=48, phase_set=3, app_phase_fns=40,
+    ),
+    RequestClass(
+        "Search", weight=0.12, segments=260, segment_instr=36, call_prob=0.88,
+        lib_body_instr=43, nested_prob=0.35, loads_per_segment=3, stores_per_segment=2, repeat_prob=0.55, phase_len=48, phase_set=3, app_phase_fns=40,
+    ),
+)
+
+#: The Apache + PHP link set.  ``import_pairs`` counts each library's own
+#: exercised PLT entries (library-to-library calls); together with the
+#: app's 300 imports the design universe is 501 distinct trampolines.
+LIBRARIES = (
+    LibrarySpec("libc.so", n_functions=900, function_size=224, import_pairs=0, ifunc_fraction=0.05),
+    LibrarySpec("libphp.so", n_functions=380, function_size=288, import_pairs=60),
+    LibrarySpec("libapr.so", n_functions=160, function_size=224, import_pairs=30),
+    LibrarySpec("libaprutil.so", n_functions=120, function_size=224, import_pairs=25),
+    LibrarySpec("libssl.so", n_functions=140, function_size=256, import_pairs=20),
+    LibrarySpec("libcrypto.so", n_functions=260, function_size=256, import_pairs=16),
+    LibrarySpec("libxml2.so", n_functions=220, function_size=256, import_pairs=20),
+    LibrarySpec("libz.so", n_functions=60, function_size=224, import_pairs=10),
+    LibrarySpec("libpcre.so", n_functions=50, function_size=256, import_pairs=10),
+    LibrarySpec("libm.so", n_functions=90, function_size=160, import_pairs=10),
+)
+
+
+def config(seed: int = 2015) -> WorkloadConfig:
+    """The calibrated Apache/SPECweb workload configuration."""
+    return WorkloadConfig(
+        name="apache",
+        libraries=LIBRARIES,
+        request_classes=REQUEST_CLASSES,
+        app_functions=1400,
+        app_function_size=480,
+        app_import_pairs=300,
+        # A steep core: most requests run the same library-call sequence.
+        profile=PopularityProfile(core_size=150, core_mass=0.85, zipf_s=1.1),
+        lib_profile=PopularityProfile(core_size=8, core_mass=0.85, zipf_s=1.0),
+        data_working_set=512 * 1024,
+        request_local_bytes=24 * 1024,
+        context_switch_interval=1_500_000,
+        seed=seed,
+    )

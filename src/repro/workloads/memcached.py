@@ -1,0 +1,61 @@
+"""Memcached + CloudSuite workload model.
+
+Calibration targets from the paper:
+
+* Table 2 — 1.75 trampoline instructions PKI (frequent but simple calls);
+* Table 3 — only 33 distinct trampolines, the smallest working set in the
+  study, with the majority of calls to fewer than 10 library functions;
+* Figure 7 — GET/SET request processing-time histograms whose peaks shift
+  left under the proposed hardware;
+* Section 5.2 — skipping trampolines eliminates all I-TLB conflict misses
+  (tiny code footprint; trampoline pages were the conflict source).
+
+Memcached is multithreaded (not prefork), so the software patching
+baseline can share patched pages across threads — noted for Section 5.5.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import LibrarySpec, RequestClass, WorkloadConfig
+from repro.workloads.profiles import PopularityProfile
+
+PAPER_TRAMPOLINE_PKI = 1.75
+PAPER_DISTINCT_TRAMPOLINES = 33
+PREFORK = False
+
+#: GET dominates the CloudSuite mix; SET requests are larger.
+REQUEST_CLASSES = (
+    RequestClass(
+        "GET", weight=0.9, segments=24, segment_instr=130, call_prob=0.26,
+        lib_body_instr=38, nested_prob=0.12, loads_per_segment=3, stores_per_segment=1, phase_len=12, phase_set=2, app_phase_fns=26,
+    ),
+    RequestClass(
+        "SET", weight=0.1, segments=30, segment_instr=140, call_prob=0.26,
+        lib_body_instr=40, nested_prob=0.12, loads_per_segment=2, stores_per_segment=3, phase_len=12, phase_set=2, app_phase_fns=26,
+    ),
+)
+
+LIBRARIES = (
+    LibrarySpec("libc.so", n_functions=900, function_size=224, import_pairs=0, ifunc_fraction=0.05),
+    LibrarySpec("libevent.so", n_functions=90, function_size=224, import_pairs=7),
+    LibrarySpec("libpthread.so", n_functions=60, function_size=160, import_pairs=0),
+)
+
+
+def config(seed: int = 1415) -> WorkloadConfig:
+    """The calibrated Memcached/CloudSuite workload configuration."""
+    return WorkloadConfig(
+        name="memcached",
+        libraries=LIBRARIES,
+        request_classes=REQUEST_CLASSES,
+        app_functions=160,
+        app_function_size=448,
+        app_import_pairs=26,
+        # Nearly all mass on a tiny core (<10 hot functions).
+        profile=PopularityProfile(core_size=9, core_mass=0.88, zipf_s=1.1),
+        lib_profile=PopularityProfile(core_size=3, core_mass=0.85, zipf_s=1.0),
+        data_working_set=1 << 20,  # the object store dominates data misses
+        request_local_bytes=8 * 1024,
+        context_switch_interval=1_200_000,
+        seed=seed,
+    )

@@ -1,0 +1,73 @@
+"""MySQL + TPC-C (OLTP-Bench) workload model.
+
+Calibration targets from the paper:
+
+* Table 2 — 5.56 trampoline instructions PKI;
+* Table 3 — 1611 distinct trampolines;
+* Figure 8 / Table 6 — response-time CDFs for the New Order and Payment
+  transactions, with the enhanced system faster at every reported
+  percentile (50/75/90/95) and Payment roughly 2.5× lighter than
+  New Order.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import LibrarySpec, RequestClass, WorkloadConfig
+from repro.workloads.profiles import PopularityProfile
+
+PAPER_TRAMPOLINE_PKI = 5.56
+PAPER_DISTINCT_TRAMPOLINES = 1611
+PREFORK = False
+
+#: Paper Table 6 reference percentiles (milliseconds).
+PAPER_TABLE6_MS = {
+    "New Order": {"base": {50: 43.5, 75: 57.3, 90: 72.8, 95: 87.1},
+                  "enhanced": {50: 43.0, 75: 56.9, 90: 72.3, 95: 86.8}},
+    "Payment": {"base": {50: 17.9, 75: 27.9, 90: 37.2, 95: 44.4},
+                "enhanced": {50: 17.7, 75: 27.2, 90: 35.9, 95: 43.0}},
+}
+
+#: TPC-C mix: the paper reports the two most popular transaction types.
+REQUEST_CLASSES = (
+    RequestClass(
+        "New Order", weight=0.45, segments=230, segment_instr=82, call_prob=0.56,
+        lib_body_instr=48, nested_prob=0.28, loads_per_segment=4, stores_per_segment=2, repeat_prob=0.6, phase_len=40, phase_set=3, app_phase_fns=12, virtual_call_prob=0.06,
+    ),
+    RequestClass(
+        "Payment", weight=0.43, segments=95, segment_instr=80, call_prob=0.56,
+        lib_body_instr=46, nested_prob=0.28, loads_per_segment=4, stores_per_segment=2, repeat_prob=0.6, phase_len=40, phase_set=3, app_phase_fns=12, virtual_call_prob=0.06,
+    ),
+    RequestClass(
+        "Stock Level", weight=0.12, segments=300, segment_instr=85, call_prob=0.52,
+        lib_body_instr=48, nested_prob=0.26, loads_per_segment=5, stores_per_segment=1, repeat_prob=0.6, phase_len=40, phase_set=3, app_phase_fns=12, virtual_call_prob=0.06,
+    ),
+)
+
+LIBRARIES = (
+    LibrarySpec("libc.so", n_functions=900, function_size=224, import_pairs=0, ifunc_fraction=0.05),
+    LibrarySpec("libstdcxx.so", n_functions=1300, function_size=224, import_pairs=180),
+    LibrarySpec("libpthread.so", n_functions=60, function_size=160, import_pairs=20),
+    LibrarySpec("libcrypto.so", n_functions=600, function_size=256, import_pairs=140),
+    LibrarySpec("libssl.so", n_functions=140, function_size=256, import_pairs=120),
+    LibrarySpec("libz.so", n_functions=60, function_size=224, import_pairs=40),
+    LibrarySpec("libaio.so", n_functions=30, function_size=160, import_pairs=11),
+    LibrarySpec("libm.so", n_functions=90, function_size=160, import_pairs=100),
+)
+
+
+def config(seed: int = 3306) -> WorkloadConfig:
+    """The calibrated MySQL/TPC-C workload configuration."""
+    return WorkloadConfig(
+        name="mysql",
+        libraries=LIBRARIES,
+        request_classes=REQUEST_CLASSES,
+        app_functions=2400,
+        app_function_size=512,
+        app_import_pairs=1000,
+        profile=PopularityProfile(core_size=150, core_mass=0.72, zipf_s=0.9),
+        lib_profile=PopularityProfile(core_size=10, core_mass=0.75, zipf_s=0.9),
+        data_working_set=1 << 20,  # buffer pool pages dominate
+        request_local_bytes=32 * 1024,
+        context_switch_interval=1_800_000,
+        seed=seed,
+    )

@@ -1,0 +1,89 @@
+"""Library-call popularity profiles.
+
+Figure 4 of the paper shows per-workload trampoline frequency curves with
+two regimes: a *core* of library calls exercised for essentially every
+request (the steep plateau-and-cutoff of Apache and Memcached) and a
+Zipf-like tail of rarer calls (the shallow slope of Firefox).  A
+:class:`PopularityProfile` parameterises that mixture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PopularityProfile:
+    """Mixture of a near-uniform core and a Zipf tail.
+
+    Attributes:
+        core_size: number of calls in the per-request core set.
+        core_mass: probability mass given to the core (uniform within it).
+        zipf_s: Zipf exponent of the tail (smaller = shallower curve).
+    """
+
+    core_size: int = 0
+    core_mass: float = 0.0
+    zipf_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.core_size < 0:
+            raise ConfigError("core_size must be non-negative")
+        if not 0.0 <= self.core_mass < 1.0:
+            raise ConfigError("core_mass must be in [0, 1)")
+        if self.core_size > 0 and self.core_mass == 0.0:
+            raise ConfigError("a non-empty core needs positive core_mass")
+        if self.zipf_s <= 0:
+            raise ConfigError("zipf_s must be positive")
+
+    def weights(self, universe: int) -> np.ndarray:
+        """Sampling weights (summing to 1) for a ranked universe."""
+        if universe < 1:
+            raise ConfigError("universe must contain at least one call")
+        core = min(self.core_size, universe)
+        out = np.zeros(universe, dtype=np.float64)
+        tail = universe - core
+        if core and tail:
+            out[:core] = self.core_mass / core
+            ranks = np.arange(1, tail + 1, dtype=np.float64)
+            tail_w = ranks**-self.zipf_s
+            out[core:] = (1.0 - self.core_mass) * tail_w / tail_w.sum()
+        elif core:
+            out[:core] = 1.0 / core
+        else:
+            ranks = np.arange(1, universe + 1, dtype=np.float64)
+            tail_w = ranks**-self.zipf_s
+            out[:] = tail_w / tail_w.sum()
+        return out
+
+
+class WeightedSampler:
+    """Draws ranked indices according to a popularity profile.
+
+    Sampling uses an inverse-CDF lookup on a cached cumulative table,
+    giving O(log n) draws from a caller-supplied ``numpy`` generator.
+    """
+
+    def __init__(self, weights: np.ndarray) -> None:
+        if weights.ndim != 1 or len(weights) == 0:
+            raise ConfigError("weights must be a non-empty 1-D array")
+        total = float(weights.sum())
+        if total <= 0:
+            raise ConfigError("weights must sum to a positive value")
+        self._cdf = np.cumsum(weights / total)
+        self._cdf[-1] = 1.0
+
+    def __len__(self) -> int:
+        return len(self._cdf)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw one index."""
+        return int(np.searchsorted(self._cdf, rng.random(), side="right"))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` indices at once."""
+        return np.searchsorted(self._cdf, rng.random(n), side="right")

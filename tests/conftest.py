@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.linker.dynamic import DynamicLinker, LinkedProgram
+from repro.linker.layout import ClassicLayout
+from repro.linker.module import ModuleSpec
+from repro.linker.symbols import FunctionSpec
+from repro.memory.address_space import AddressSpace
+from repro.memory.pages import PhysicalMemory
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG for tests."""
+    return np.random.default_rng(42)
+
+
+def tiny_specs() -> tuple[ModuleSpec, list[ModuleSpec]]:
+    """A minimal exe+two-library link set used across linker tests."""
+    libc = ModuleSpec(
+        "libc.so",
+        [FunctionSpec("printf", 256), FunctionSpec("memcpy", 128), FunctionSpec("strlen", 64)],
+        imports=[],
+    )
+    libx = ModuleSpec(
+        "libx.so",
+        [FunctionSpec("x_parse", 256), FunctionSpec("x_emit", 256)],
+        imports=["memcpy", "strlen"],
+    )
+    exe = ModuleSpec(
+        "app",
+        [FunctionSpec("main", 512), FunctionSpec("handler", 512)],
+        imports=["printf", "x_parse", "memcpy"],
+    )
+    return exe, [libc, libx]
+
+
+@pytest.fixture
+def tiny_program() -> LinkedProgram:
+    """A linked three-module program (no memory mapping)."""
+    exe, libs = tiny_specs()
+    return DynamicLinker().link(exe, libs, ClassicLayout(aslr=False))
+
+
+@pytest.fixture
+def tiny_mapped():
+    """A linked program with real page mappings; returns (program, space, phys)."""
+    exe, libs = tiny_specs()
+    phys = PhysicalMemory()
+    linker = DynamicLinker(phys)
+    space = AddressSpace(phys, "proc0")
+    program = linker.link(exe, libs, ClassicLayout(aslr=False), space)
+    return program, space, phys

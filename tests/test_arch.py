@@ -1,0 +1,134 @@
+"""Tests for the ARM trampoline encoding (paper Figure 2b).
+
+The mechanism is encoding-agnostic: a call followed by an indirect
+branch within the stub.  On ARM the stub spends two address-computation
+instructions before the branch, so skipping saves three instructions per
+call instead of one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import TrampolineSkipMechanism
+from repro.isa.arch import ARCH_PARAMS, Arch
+from repro.isa.kinds import EventKind
+from repro.linker import DynamicLinker
+from repro.trace.engine import ExecutionEngine
+from repro.uarch import CPU
+from repro.workloads import memcached
+from repro.workloads.base import Workload
+from tests.conftest import tiny_specs
+
+
+def _engine(arch: Arch):
+    exe, libs = tiny_specs()
+    program = DynamicLinker().link(exe, libs)
+    return program, ExecutionEngine(program, arch=arch)
+
+
+class TestArchParams:
+    def test_x86_trampoline_is_one_instruction(self):
+        assert ARCH_PARAMS[Arch.X86_64].trampoline_instructions == 1
+
+    def test_arm_trampoline_is_three_instructions(self):
+        assert ARCH_PARAMS[Arch.ARM].trampoline_instructions == 3
+
+
+class TestArmEngine:
+    def test_steady_call_emits_stub_prefix(self):
+        program, engine = _engine(Arch.ARM)
+        site = program.module("app").function("main").entry + 32
+        engine.call_events("app", "printf", site)  # resolve
+        events, binding = engine.call_events("app", "printf", site)
+        kinds = [e.kind for e in events]
+        assert kinds == [EventKind.CALL_DIRECT, EventKind.BLOCK, EventKind.JMP_INDIRECT]
+        call, stub, jmp = events
+        assert stub.pc == binding.plt_addr and stub.n_instr == 2
+        assert jmp.pc == stub.pc + stub.nbytes
+        assert jmp.mem_addr == binding.got_addr
+
+    def test_x86_has_no_prefix(self):
+        program, engine = _engine(Arch.X86_64)
+        site = program.module("app").function("main").entry + 32
+        engine.call_events("app", "printf", site)
+        events, _ = engine.call_events("app", "printf", site)
+        assert [e.kind for e in events] == [EventKind.CALL_DIRECT, EventKind.JMP_INDIRECT]
+
+
+class TestArmSkip:
+    def _steady_calls(self, n: int):
+        program, engine = _engine(Arch.ARM)
+        site = program.module("app").function("main").entry + 32
+        events, binding = engine.call_events("app", "printf", site)  # resolver
+        out = list(events) + engine.return_events(binding, site)
+        for _ in range(n):
+            events, binding = engine.call_events("app", "printf", site)
+            out += list(events) + engine.return_events(binding, site)
+        return out
+
+    def test_arm_triple_learned_and_skipped(self):
+        cpu = CPU(mechanism=TrampolineSkipMechanism())
+        cpu.run(self._steady_calls(6))
+        c = cpu.finalize()
+        assert c.trampolines_skipped >= 3
+
+    def test_arm_skip_saves_three_instructions(self):
+        base, enh = CPU(), CPU(mechanism=TrampolineSkipMechanism())
+        events = self._steady_calls(10)
+        base.run(iter(events))
+        enh.run(iter(events))
+        cb, ce = base.finalize(), enh.finalize()
+        assert cb.instructions - ce.instructions == 3 * ce.trampolines_skipped
+
+    def test_arm_trampoline_instruction_accounting(self):
+        cpu = CPU()
+        cpu.run(self._steady_calls(5))
+        c = cpu.finalize()
+        # Every executed trampoline counts 3 instructions on ARM.
+        assert c.trampoline_instructions == 3 * c.trampolines_executed
+
+    def test_arm_misprediction_parity(self):
+        events = self._steady_calls(30)
+        base, enh = CPU(), CPU(mechanism=TrampolineSkipMechanism())
+        base.run(iter(events))
+        enh.run(iter(events))
+        # One extra startup misprediction from promote-at-learn during the
+        # resolver sequence is allowed; steady state is at parity.
+        assert (
+            enh.finalize().branch_mispredictions
+            <= base.finalize().branch_mispredictions + 1
+        )
+
+
+class TestArmWorkload:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        results = []
+        for mech in (None, TrampolineSkipMechanism()):
+            wl = Workload(replace(memcached.config(), arch=Arch.ARM))
+            cpu = CPU(mechanism=mech)
+            cpu.run(wl.startup_trace())
+            cpu.finalize()
+            snap = cpu.counters.copy()
+            cpu.run(wl.trace(60, include_marks=False))
+            cpu.finalize()
+            results.append(cpu.counters.delta(snap))
+        return results
+
+    def test_arm_pki_is_triple_x86(self, pair):
+        base, _ = pair
+        assert base.pki("trampoline_instructions") == pytest.approx(
+            3 * base.pki("trampolines_executed"), rel=0.01
+        )
+
+    def test_arm_savings_exactly_three_per_skip(self, pair):
+        base, enh = pair
+        assert base.instructions - enh.instructions == 3 * enh.trampolines_skipped
+
+    def test_arm_skip_rate_matches_x86(self, pair):
+        _, enh = pair
+        total = enh.trampolines_skipped + enh.trampolines_executed
+        assert enh.trampolines_skipped / total > 0.9

@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_parses_scale(self):
+        args = build_parser().parse_args(["run", "table2", "--scale", "paper"])
+        assert args.experiment == "table2" and args.scale == "paper"
+
+    def test_run_rejects_bad_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table2", "--scale", "huge"])
+
+    def test_compare_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "postgres"])
+
+
+class TestCommands:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for eid in ("table2", "fig5", "memsave", "ablation"):
+            assert eid in out
+
+    def test_run_hwcost(self, capsys):
+        assert main(["run", "hwcost"]) == 0
+        out = capsys.readouterr().out
+        assert "ABTB storage" in out
+        assert "[PASS]" in out
+
+    def test_compare_memcached(self, capsys):
+        assert main(["compare", "memcached", "--requests", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "skip rate" in out and "speedup" in out
+
+    def test_run_all_parses(self):
+        args = build_parser().parse_args(["run", "all"])
+        assert args.experiment == "all"

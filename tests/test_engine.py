@@ -1,0 +1,131 @@
+"""Tests for the execution engine's three linking modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceError
+from repro.isa.kinds import EventKind
+from repro.linker import CallSitePatcher, CompatLayout, DynamicLinker, StaticLinker
+from repro.trace.engine import (
+    PATCH_OVERHEAD_INSTRUCTIONS,
+    ExecutionEngine,
+    LinkMode,
+)
+from tests.conftest import tiny_specs
+
+
+def _dynamic():
+    exe, libs = tiny_specs()
+    program = DynamicLinker().link(exe, libs)
+    return program, ExecutionEngine(program)
+
+
+class TestDynamicMode:
+    def test_steady_call_shape(self):
+        program, engine = _dynamic()
+        site = program.module("app").function("main").entry + 32
+        engine.call_events("app", "printf", site)  # first call resolves
+        events, binding = engine.call_events("app", "printf", site)
+        assert [e.kind for e in events] == [EventKind.CALL_DIRECT, EventKind.JMP_INDIRECT]
+        call, tramp = events
+        assert call.target == binding.plt_addr
+        assert tramp.pc == binding.plt_addr
+        assert tramp.mem_addr == binding.got_addr
+        assert tramp.target == binding.func_addr
+        assert tramp.tag == "plt"
+
+    def test_first_call_routes_through_resolver(self):
+        program, engine = _dynamic()
+        site = program.module("app").function("main").entry + 32
+        events, binding = engine.call_events("app", "printf", site)
+        kinds = [e.kind for e in events]
+        assert EventKind.STORE in kinds  # the GOT write
+        stores = [e for e in events if e.kind == EventKind.STORE]
+        assert stores[0].mem_addr == binding.got_addr
+        assert stores[0].tag == "got-store"
+        # The trampoline initially jumps back into the stub (lazy target).
+        tramp = events[1]
+        assert tramp.target == binding.plt_push_addr
+
+    def test_first_call_cost_exceeds_steady(self):
+        program, engine = _dynamic()
+        site = program.module("app").function("main").entry + 32
+        first, _ = engine.call_events("app", "printf", site)
+        steady, _ = engine.call_events("app", "printf", site)
+        assert sum(e.n_instr for e in first) > 50 * sum(e.n_instr for e in steady)
+
+    def test_return_events_target_after_site(self):
+        program, engine = _dynamic()
+        site = program.module("app").function("main").entry + 32
+        _, binding = engine.call_events("app", "printf", site)
+        (ret_ev,) = engine.return_events(binding, site)
+        assert ret_ev.target == site + 5
+
+    def test_resolutions_counted(self):
+        program, engine = _dynamic()
+        site = program.module("app").function("main").entry + 32
+        engine.call_events("app", "printf", site)
+        engine.call_events("app", "printf", site)
+        engine.call_events("app", "memcpy", site + 16)
+        assert engine.resolutions_emitted == 2
+        assert engine.calls_emitted == 3
+
+
+class TestStaticMode:
+    def test_static_emits_single_direct_call(self):
+        exe, libs = tiny_specs()
+        program = StaticLinker().link(exe, libs)
+        engine = ExecutionEngine(program, LinkMode.STATIC)
+        site = program.module("app").function("main").entry + 32
+        events, binding = engine.call_events("app", "printf", site)
+        assert len(events) == 1
+        assert events[0].kind is EventKind.CALL_DIRECT
+        assert events[0].target == binding.func_addr
+
+    def test_static_mode_requires_static_program(self):
+        program, _ = _dynamic()
+        with pytest.raises(TraceError):
+            ExecutionEngine(program, LinkMode.STATIC)
+
+
+class TestPatchedMode:
+    def _patched(self):
+        exe, libs = tiny_specs()
+        program = DynamicLinker().link(exe, libs, CompatLayout())
+        patcher = CallSitePatcher(program)
+        return program, patcher, ExecutionEngine(program, LinkMode.PATCHED, patcher)
+
+    def test_patched_mode_requires_patcher(self):
+        program, _ = _dynamic()
+        with pytest.raises(TraceError):
+            ExecutionEngine(program, LinkMode.PATCHED)
+
+    def test_first_execution_resolves_and_patches(self):
+        program, patcher, engine = self._patched()
+        site = program.module("app").function("main").entry + 32
+        events, _ = engine.call_events("app", "printf", site)
+        assert patcher.is_patched(site)
+        # Patch overhead: a large block plus the code-page write.
+        assert any(e.n_instr == PATCH_OVERHEAD_INSTRUCTIONS for e in events)
+        assert any(e.kind == EventKind.STORE and e.mem_addr == site for e in events)
+
+    def test_later_executions_call_directly(self):
+        program, patcher, engine = self._patched()
+        site = program.module("app").function("main").entry + 32
+        engine.call_events("app", "printf", site)
+        events, binding = engine.call_events("app", "printf", site)
+        assert len(events) == 1
+        assert events[0].target == binding.func_addr
+        assert not binding.via_plt
+
+    def test_each_site_patched_separately(self):
+        # The paper's point: patching is per *site*, resolution per symbol.
+        program, patcher, engine = self._patched()
+        app = program.module("app")
+        site_a = app.function("main").entry + 32
+        site_b = app.function("handler").entry + 32
+        engine.call_events("app", "printf", site_a)
+        engine.call_events("app", "printf", site_b)
+        assert patcher.stats.sites_patched == 2
+        assert engine.resolutions_emitted == 1  # symbol resolved once

@@ -1,0 +1,192 @@
+"""Integration tests: linker + engine + workloads + CPU + mechanism together."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MechanismConfig, TrampolineSkipMechanism
+from repro.experiments.runner import run_pair, run_workload
+from repro.experiments.scale import Scale
+from repro.trace.engine import LinkMode
+from repro.uarch import CPU
+from repro.workloads import Workload, memcached
+from repro.workloads.base import LibrarySpec, RequestClass, WorkloadConfig
+from repro.workloads.profiles import PopularityProfile
+
+#: Tiny preset so integration tests stay fast.
+TINY = Scale(
+    "tiny",
+    {"apache": (2, 6), "memcached": (10, 50), "mysql": (2, 6), "firefox": (1, 3)},
+)
+
+
+def tiny_workload_config(**overrides) -> WorkloadConfig:
+    defaults = dict(
+        name="tiny",
+        libraries=(
+            LibrarySpec("liba.so", n_functions=60, import_pairs=5),
+            LibrarySpec("libb.so", n_functions=60),
+        ),
+        request_classes=(
+            RequestClass("R", segments=30, segment_instr=40, call_prob=0.8,
+                         phase_len=10, phase_set=2, app_phase_fns=4),
+        ),
+        app_functions=40,
+        app_import_pairs=15,
+        profile=PopularityProfile(core_size=5, core_mass=0.7, zipf_s=1.0),
+        plt_sparsity=3,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return WorkloadConfig(**defaults)
+
+
+class TestBaseVsEnhanced:
+    def _pair(self, n_requests=30):
+        results = []
+        for mech in (None, TrampolineSkipMechanism()):
+            wl = Workload(tiny_workload_config())
+            cpu = CPU(mechanism=mech)
+            cpu.run(wl.startup_trace())
+            snap = cpu.finalize().copy()
+            cpu.run(wl.trace(n_requests, include_marks=False))
+            results.append(cpu.finalize().delta(snap))
+        return results
+
+    def test_enhanced_executes_fewer_instructions(self):
+        base, enh = self._pair()
+        assert enh.instructions < base.instructions
+        # Architectural work (everything but trampolines) is identical.
+        saved = base.instructions - enh.instructions
+        assert saved == enh.trampolines_skipped
+
+    def test_enhanced_is_faster(self):
+        base, enh = self._pair()
+        assert enh.cycles < base.cycles
+
+    def test_enhanced_reduces_got_loads(self):
+        base, enh = self._pair()
+        assert enh.got_loads < base.got_loads
+        assert base.got_loads - enh.got_loads == enh.trampolines_skipped
+
+    def test_trampoline_totals_conserved(self):
+        base, enh = self._pair()
+        assert (
+            enh.trampolines_executed + enh.trampolines_skipped
+            == base.trampolines_executed
+        )
+
+    def test_mispredictions_stay_close(self):
+        # Section 3.3: the mechanism introduces no *steady-state*
+        # mispredictions; transient relearns keep the totals within a
+        # small envelope.
+        base, enh = self._pair()
+        assert enh.branch_mispredictions <= base.branch_mispredictions * 1.05 + 10
+
+    def test_branch_count_drops_by_skips(self):
+        base, enh = self._pair()
+        assert base.branches - enh.branches == enh.trampolines_skipped
+
+
+class TestUnsafeSkipNeverWithBloom:
+    def test_full_workload_has_zero_unsafe_skips(self):
+        wl = Workload(tiny_workload_config())
+        mech = TrampolineSkipMechanism()
+        cpu = CPU(mechanism=mech)
+        cpu.run(wl.startup_trace())
+        cpu.run(wl.trace(40, include_marks=False))
+        assert mech.stats.unsafe_skips == 0
+
+    def test_explicit_invalidate_mode_also_safe_with_linker_cooperation(self):
+        wl = Workload(tiny_workload_config())
+        mech = TrampolineSkipMechanism(MechanismConfig(use_bloom=False))
+        cpu = CPU(mechanism=mech)
+        cpu.run(wl.startup_trace())
+        cpu.run(wl.trace(40, include_marks=False))
+        assert mech.stats.unsafe_skips == 0
+        assert mech.stats.explicit_flushes > 0  # the linker invalidated
+
+
+class TestLinkModesAgree:
+    def test_static_matches_enhanced_steady_state_instruction_count(self):
+        # The whole premise: skipping trampolines gives dynamic linking the
+        # instruction stream of static linking (modulo startup).
+        dyn = Workload(tiny_workload_config())
+        cpu = CPU(mechanism=TrampolineSkipMechanism())
+        cpu.run(dyn.startup_trace())
+        snap = cpu.finalize().copy()
+        cpu.run(dyn.trace(30, include_marks=False))
+        enh = cpu.finalize().delta(snap)
+
+        static = Workload(tiny_workload_config(), mode=LinkMode.STATIC)
+        scpu = CPU()
+        scpu.run(static.trace(30, include_marks=False))
+        stat = scpu.finalize()
+
+        # Residual trampolines (relearns) are the only difference.
+        assert enh.instructions - stat.instructions == enh.trampolines_executed
+
+    def test_patched_mode_runs_and_patches(self):
+        wl = Workload(tiny_workload_config(), mode=LinkMode.PATCHED)
+        cpu = CPU()
+        cpu.run(wl.trace(10, include_marks=False))
+        assert wl.patcher is not None
+        assert wl.patcher.stats.sites_patched > 0
+        # Already-patched sites execute no trampolines; only sites making
+        # their *first* appearance in the second window still take the
+        # one-time PLT+patch path.
+        snap = cpu.finalize().copy()
+        patched_before = wl.patcher.stats.sites_patched
+        cpu.run(wl.trace(10, include_marks=False, start_id=10))
+        window = cpu.finalize().delta(snap)
+        newly_patched = wl.patcher.stats.sites_patched - patched_before
+        assert window.trampolines_executed == newly_patched
+
+
+class TestRunner:
+    def test_run_workload_pairs_marks(self):
+        result = run_workload(memcached.config(), None, 2, 10)
+        assert len(result.requests) == 10
+        assert all(r.cycles > 0 and r.instructions > 0 for r in result.requests)
+
+    def test_request_classes_observed(self):
+        result = run_workload(memcached.config(), None, 2, 30)
+        assert "GET" in result.class_names()
+
+    def test_latency_noise_uses_common_random_numbers(self):
+        base = run_workload(memcached.config(), None, 2, 10)
+        enh = run_workload(
+            memcached.config(), TrampolineSkipMechanism(), 2, 10
+        )
+        lb = base.latencies_us(noise_sigma=0.1)
+        le = enh.latencies_us(noise_sigma=0.1)
+        # Same request ids -> same noise draws -> ratios reflect only the
+        # microarchitectural delta (all within a tight band).
+        ratios = [e / b for b, e in zip(lb, le)]
+        assert max(ratios) - min(ratios) < 0.05
+
+    def test_run_pair_produces_identical_workloads(self):
+        base, enh = run_pair("memcached", TINY)
+        assert base.counters.instructions >= enh.counters.instructions
+        assert [r.request_id for r in base.requests] == [
+            r.request_id for r in enh.requests
+        ]
+
+    def test_skip_rate_property(self):
+        _, enh = run_pair("memcached", TINY)
+        assert 0.0 < enh.skip_rate <= 1.0
+
+
+class TestContextSwitchIntegration:
+    def test_switches_degrade_but_do_not_break(self):
+        noisy = tiny_workload_config(context_switch_interval=20_000)
+        wl = Workload(noisy)
+        mech = TrampolineSkipMechanism()
+        cpu = CPU(mechanism=mech)
+        cpu.run(wl.startup_trace())
+        cpu.run(wl.trace(30, include_marks=False))
+        c = cpu.finalize()
+        assert c.context_switches > 0
+        assert mech.stats.context_flushes >= c.context_switches
+        assert c.trampolines_skipped > 0  # still recovers between switches
+        assert mech.stats.unsafe_skips == 0

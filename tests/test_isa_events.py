@@ -1,0 +1,109 @@
+"""Unit tests for the trace-event layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceError
+from repro.isa import (
+    BRANCH_KINDS,
+    MEMORY_KINDS,
+    EventKind,
+    block,
+    call_direct,
+    call_indirect,
+    cond_branch,
+    context_switch,
+    count_instructions,
+    jmp_direct,
+    jmp_indirect,
+    load,
+    mark,
+    ret,
+    store,
+)
+
+
+class TestConstructors:
+    def test_block_counts_instructions(self):
+        ev = block(0x1000, 7)
+        assert ev.kind is EventKind.BLOCK
+        assert ev.n_instr == 7
+        assert ev.nbytes == 28  # 4 bytes per instruction by default
+
+    def test_block_explicit_bytes(self):
+        assert block(0x1000, 3, nbytes=10).nbytes == 10
+
+    def test_block_rejects_empty(self):
+        with pytest.raises(TraceError):
+            block(0x1000, 0)
+
+    def test_call_direct_fields(self):
+        ev = call_direct(0x400100, 0x500000)
+        assert ev.kind is EventKind.CALL_DIRECT
+        assert (ev.pc, ev.target, ev.n_instr, ev.nbytes) == (0x400100, 0x500000, 1, 5)
+
+    def test_call_indirect_memory_operand(self):
+        ev = call_indirect(0x400100, 0x500000, mem_addr=0x601000)
+        assert ev.mem_addr == 0x601000
+
+    def test_call_indirect_register_operand_has_no_memory(self):
+        assert call_indirect(0x400100, 0x500000).mem_addr == 0
+
+    def test_jmp_indirect_is_the_trampoline_shape(self):
+        ev = jmp_indirect(0x401000, 0x7F0000, 0x602018)
+        assert ev.kind is EventKind.JMP_INDIRECT
+        assert ev.mem_addr == 0x602018  # the GOT slot
+        assert ev.nbytes == 6  # jmp *GOT encoding
+
+    def test_ret_carries_return_target(self):
+        ev = ret(0x500010, 0x400105)
+        assert ev.target == 0x400105
+        assert ev.nbytes == 1
+
+    def test_cond_branch_outcome(self):
+        assert cond_branch(0x1000, 0x2000, taken=True).taken is True
+        assert cond_branch(0x1000, 0x2000, taken=False).taken is False
+
+    def test_load_store_addresses(self):
+        assert load(0x1000, 0xDEAD0).mem_addr == 0xDEAD0
+        assert store(0x1000, 0xBEEF0).mem_addr == 0xBEEF0
+
+    def test_context_switch_has_no_instructions(self):
+        assert context_switch().n_instr == 0
+
+    def test_mark_carries_tag(self):
+        assert mark(("begin", "GET", 3)).tag == ("begin", "GET", 3)
+
+    def test_jmp_direct(self):
+        assert jmp_direct(0x1000, 0x2000).kind is EventKind.JMP_DIRECT
+
+
+class TestKindSets:
+    def test_branch_kinds_cover_all_control_transfers(self):
+        assert EventKind.CALL_DIRECT in BRANCH_KINDS
+        assert EventKind.JMP_INDIRECT in BRANCH_KINDS
+        assert EventKind.RET in BRANCH_KINDS
+        assert EventKind.BLOCK not in BRANCH_KINDS
+
+    def test_memory_kinds(self):
+        assert EventKind.LOAD in MEMORY_KINDS
+        assert EventKind.STORE in MEMORY_KINDS
+        assert EventKind.JMP_INDIRECT in MEMORY_KINDS
+        assert EventKind.RET not in MEMORY_KINDS
+
+
+class TestEquality:
+    def test_equal_events(self):
+        assert load(0x10, 0x20) == load(0x10, 0x20)
+
+    def test_unequal_events(self):
+        assert load(0x10, 0x20) != store(0x10, 0x20)
+
+    def test_hashable(self):
+        assert len({load(0x10, 0x20), load(0x10, 0x20), store(0x10, 0x20)}) == 2
+
+
+def test_count_instructions_sums_stream():
+    events = [block(0, 10), call_direct(40, 100), ret(200, 45), mark("x")]
+    assert count_instructions(iter(events)) == 12

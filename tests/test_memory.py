@@ -1,0 +1,217 @@
+"""Unit tests for the page-level memory model (frames, spaces, fork/CoW)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.memory import (
+    PAGE_SIZE,
+    AddressSpace,
+    Perm,
+    PhysicalMemory,
+    measure,
+    page_base,
+    page_of,
+    pages_spanned,
+    patch_cost_bytes,
+)
+
+
+class TestPageMath:
+    def test_page_of(self):
+        assert page_of(0) == 0
+        assert page_of(4095) == 0
+        assert page_of(4096) == 1
+
+    def test_page_base(self):
+        assert page_base(0x1234) == 0x1000
+
+    def test_pages_spanned_single(self):
+        assert list(pages_spanned(0x1000, 1)) == [1]
+
+    def test_pages_spanned_boundary(self):
+        assert list(pages_spanned(0x1FFF, 2)) == [1, 2]
+
+    def test_pages_spanned_empty(self):
+        assert list(pages_spanned(0x1000, 0)) == []
+
+    def test_pages_spanned_large(self):
+        assert len(pages_spanned(0, 10 * PAGE_SIZE)) == 10
+
+
+class TestPhysicalMemory:
+    def test_allocate_counts(self):
+        phys = PhysicalMemory()
+        phys.allocate("a")
+        phys.allocate("b")
+        assert phys.total_frames == 2
+        assert phys.total_bytes == 2 * PAGE_SIZE
+
+    def test_share_and_release(self):
+        phys = PhysicalMemory()
+        frame = phys.allocate()
+        phys.share(frame)
+        assert frame.refcount == 2
+        phys.release(frame)
+        assert phys.total_frames == 1
+        phys.release(frame)
+        assert phys.total_frames == 0
+
+    def test_copy_on_write_allocates_new_frame(self):
+        phys = PhysicalMemory()
+        frame = phys.allocate("lib:text")
+        phys.share(frame)
+        copy = phys.copy_on_write(frame)
+        assert copy.frame_id != frame.frame_id
+        assert frame.refcount == 1
+        assert copy.origin.endswith("+cow")
+
+    def test_frames_with_origin(self):
+        phys = PhysicalMemory()
+        phys.allocate("libc.so:text")
+        phys.allocate("libc.so:got")
+        phys.allocate("app:text")
+        assert len(phys.frames_with_origin("libc.so")) == 2
+
+
+class TestAddressSpace:
+    def test_map_private_and_access(self):
+        phys = PhysicalMemory()
+        space = AddressSpace(phys)
+        space.map_private(0x10000, 2 * PAGE_SIZE, Perm.RW)
+        space.read(0x10000)
+        space.write(0x10000 + PAGE_SIZE)
+        assert space.mapped_pages == 2
+
+    def test_double_map_rejected(self):
+        phys = PhysicalMemory()
+        space = AddressSpace(phys)
+        space.map_private(0x10000, PAGE_SIZE, Perm.RW)
+        with pytest.raises(MemoryError_):
+            space.map_private(0x10000, PAGE_SIZE, Perm.RW)
+
+    def test_unmapped_access_raises(self):
+        space = AddressSpace(PhysicalMemory())
+        with pytest.raises(MemoryError_):
+            space.read(0xDEAD000)
+
+    def test_permission_enforcement(self):
+        phys = PhysicalMemory()
+        space = AddressSpace(phys)
+        space.map_private(0x10000, PAGE_SIZE, Perm.RX)
+        space.fetch(0x10000)
+        with pytest.raises(MemoryError_):
+            space.write(0x10000)
+
+    def test_mprotect_changes_permissions(self):
+        phys = PhysicalMemory()
+        space = AddressSpace(phys)
+        space.map_private(0x10000, PAGE_SIZE, Perm.RX)
+        space.protect(0x10000, PAGE_SIZE, Perm.RW)
+        space.write(0x10000)
+
+    def test_mprotect_unmapped_raises(self):
+        space = AddressSpace(PhysicalMemory())
+        with pytest.raises(MemoryError_):
+            space.protect(0x10000, PAGE_SIZE, Perm.RW)
+
+    def test_unmap_releases_frames(self):
+        phys = PhysicalMemory()
+        space = AddressSpace(phys)
+        space.map_private(0x10000, PAGE_SIZE, Perm.RW)
+        space.unmap(0x10000, PAGE_SIZE)
+        assert phys.total_frames == 0
+        assert not space.is_mapped(0x10000)
+
+    def test_fetch_requires_execute(self):
+        phys = PhysicalMemory()
+        space = AddressSpace(phys)
+        space.map_private(0x10000, PAGE_SIZE, Perm.RW)
+        with pytest.raises(MemoryError_):
+            space.fetch(0x10000)
+
+
+class TestForkCow:
+    def _parent(self):
+        phys = PhysicalMemory()
+        space = AddressSpace(phys, "parent")
+        space.map_private(0x10000, 4 * PAGE_SIZE, Perm.RW, origin="data")
+        return phys, space
+
+    def test_fork_shares_frames(self):
+        phys, parent = self._parent()
+        child = parent.fork("child")
+        assert phys.total_frames == 4  # no copies yet
+        assert child.mapped_pages == 4
+
+    def test_child_write_privatises_one_page(self):
+        phys, parent = self._parent()
+        child = parent.fork("child")
+        child.write(0x10000)
+        assert phys.total_frames == 5
+        assert child.cow_faults == 1
+
+    def test_parent_write_also_faults(self):
+        phys, parent = self._parent()
+        parent.fork("child")
+        parent.write(0x11000)
+        assert parent.cow_faults == 1
+        assert phys.total_frames == 5
+
+    def test_second_write_same_page_no_extra_copy(self):
+        phys, parent = self._parent()
+        child = parent.fork("child")
+        child.write(0x10000)
+        child.write(0x10008)
+        assert phys.total_frames == 5
+        assert child.cow_faults == 1
+
+    def test_many_children_each_copy(self):
+        phys, parent = self._parent()
+        children = [parent.fork(f"c{i}") for i in range(5)]
+        for c in children:
+            c.write(0x10000)
+        # 4 original + 5 private copies of the written page
+        assert phys.total_frames == 9
+
+    def test_sole_owner_write_claims_frame_without_copy(self):
+        phys, parent = self._parent()
+        child = parent.fork("child")
+        child.unmap(0x10000, 4 * PAGE_SIZE)
+        parent.write(0x10000)  # refcount is 1 again: no copy needed
+        assert phys.total_frames == 4
+        assert parent.cow_faults == 0
+
+    def test_read_never_faults(self):
+        phys, parent = self._parent()
+        child = parent.fork("child")
+        child.read(0x10000)
+        parent.read(0x10000)
+        assert phys.total_frames == 4
+
+
+class TestCowReport:
+    def test_measure_counts_shared_and_private(self):
+        phys = PhysicalMemory()
+        parent = AddressSpace(phys, "p")
+        parent.map_private(0x10000, 2 * PAGE_SIZE, Perm.RW)
+        child = parent.fork("c")
+        child.write(0x10000)
+        report = measure(phys, [parent, child])
+        assert report.processes == 2
+        assert report.total_frames == 3
+        assert report.private_frames == 2  # the copy + parent's now-sole frame
+        assert report.cow_faults == 1
+
+    def test_average_private_bytes(self):
+        phys = PhysicalMemory()
+        a = AddressSpace(phys, "a")
+        a.map_private(0x10000, PAGE_SIZE, Perm.RW)
+        report = measure(phys, [a])
+        assert report.average_private_bytes == PAGE_SIZE
+
+    def test_patch_cost_formula_matches_paper_scale(self):
+        # ~280 pages, 500 processes -> ~0.5 GB, the paper's estimate.
+        cost = patch_cost_bytes(280, 500)
+        assert 0.4e9 < cost < 0.7e9

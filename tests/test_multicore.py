@@ -1,0 +1,76 @@
+"""Tests for the dual-core coherence path (paper Section 3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TrampolineSkipMechanism
+from repro.errors import ConfigError
+from repro.isa.events import block, store
+from repro.uarch import CPU
+from repro.uarch.multicore import DualCoreSystem
+from tests.test_cpu import GOT, plt_call
+
+
+class TestConstruction:
+    def test_shared_l2(self):
+        system = DualCoreSystem.with_shared_l2()
+        assert system.cpus[0].l2 is system.cpus[1].l2
+        assert system.cpus[0].l1i is not system.cpus[1].l1i
+
+    def test_bad_slice_rejected(self):
+        with pytest.raises(ConfigError):
+            DualCoreSystem((CPU(), CPU()), slice_events=0)
+
+
+class TestCoherence:
+    def test_remote_got_store_flushes_sibling_abtb(self):
+        mech = TrampolineSkipMechanism()
+        server = CPU(mechanism=mech)
+        other = CPU()
+        system = DualCoreSystem((server, other))
+        # Server core learns and skips; the other core rewrites the GOT.
+        system.run(plt_call() * 5, [block(0x9000, 50), store(0x9100, GOT)])
+        assert mech.stats.coherence_flushes == 1
+        assert len(mech.abtb) == 0
+        assert mech.stats.unsafe_skips == 0
+
+    def test_unrelated_remote_stores_harmless(self):
+        mech = TrampolineSkipMechanism()
+        system = DualCoreSystem((CPU(mechanism=mech), CPU()))
+        system.run(plt_call() * 5, [store(0x9100, 0x12345 + 8 * i) for i in range(50)])
+        assert len(mech.abtb) == 1
+        assert system.invalidations_delivered[0] == 50
+
+    def test_recovery_after_remote_flush(self):
+        mech = TrampolineSkipMechanism()
+        server = CPU(mechanism=mech)
+        system = DualCoreSystem((server, CPU()), slice_events=4)
+        # 4-event slices: each plt_call is one slice; the remote store
+        # lands between calls, then skipping resumes after one relearn.
+        remote = [block(0x9000, 2)] * 3 + [store(0x9100, GOT)]
+        system.run(plt_call() * 40, remote)
+        counters = system.finalize()[0]
+        total = counters.trampolines_skipped + counters.trampolines_executed
+        assert total == 40
+        assert counters.trampolines_skipped >= 36
+
+    def test_both_cores_can_run_mechanisms(self):
+        m0, m1 = TrampolineSkipMechanism(), TrampolineSkipMechanism()
+        system = DualCoreSystem((CPU(mechanism=m0), CPU(mechanism=m1)))
+        system.run(plt_call() * 10, plt_call() * 10)
+        c0, c1 = system.finalize()
+        assert c0.trampolines_skipped > 0
+        assert c1.trampolines_skipped > 0
+        # The resolver-free steady traces contain no stores, so neither
+        # mechanism flushed the other.
+        assert m0.stats.coherence_flushes == 0
+        assert m1.stats.coherence_flushes == 0
+
+    def test_shared_l2_sees_both_cores_lines(self):
+        system = DualCoreSystem.with_shared_l2()
+        system.run([block(0x4000, 8)], [block(0x4000, 8)])
+        # Second core's fetch of the same line hits the shared L2.
+        c0, c1 = system.finalize()
+        assert c0.l2_misses == 1
+        assert c1.l2_misses == 0

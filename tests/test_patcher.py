@@ -1,0 +1,102 @@
+"""Unit tests for the software call-site patching baseline."""
+
+from __future__ import annotations
+
+from repro.linker import CallSitePatcher, CompatLayout, DynamicLinker
+from repro.memory.address_space import AddressSpace
+from repro.memory.pages import PAGE_SIZE, PhysicalMemory
+from tests.conftest import tiny_specs
+
+
+def _patched_setup(n_children: int = 0):
+    exe, libs = tiny_specs()
+    phys = PhysicalMemory()
+    linker = DynamicLinker(phys)
+    space = AddressSpace(phys, "parent")
+    program = linker.link(exe, libs, CompatLayout(), space)
+    children = [space.fork(f"c{i}") for i in range(n_children)]
+    patcher = CallSitePatcher(program, children if children else [space])
+    return program, patcher, phys, space, children
+
+
+class TestPatchSite:
+    def test_patch_rewrites_to_function(self):
+        program, patcher, *_ = _patched_setup()
+        site = program.module("app").function("main").entry + 32
+        record = patcher.patch_site(site, "app", "printf")
+        assert record is not None
+        assert record.target == program.module("libc.so").function("printf").entry
+
+    def test_patch_is_idempotent(self):
+        program, patcher, *_ = _patched_setup()
+        site = program.module("app").function("main").entry + 32
+        first = patcher.patch_site(site, "app", "printf")
+        second = patcher.patch_site(site, "app", "printf")
+        assert first is second
+        assert patcher.stats.sites_patched == 1
+
+    def test_patch_tracks_pages_and_mprotects(self):
+        program, patcher, *_ = _patched_setup()
+        base = program.module("app").function("main").entry
+        patcher.patch_site(base + 32, "app", "printf")
+        patcher.patch_site(base + 64, "app", "memcpy")
+        assert patcher.stats.sites_patched == 2
+        assert patcher.stats.mprotect_calls == 4
+        assert patcher.stats.pages_touched == 1  # same code page
+
+    def test_bound_call_before_and_after(self):
+        program, patcher, *_ = _patched_setup()
+        site = program.module("app").function("main").entry + 32
+        before = patcher.bound_call(site, "app", "printf")
+        assert before.via_plt
+        patcher.patch_site(site, "app", "printf")
+        after = patcher.bound_call(site, "app", "printf")
+        assert not after.via_plt
+
+    def test_out_of_reach_with_classic_layout(self, tiny_program):
+        patcher = CallSitePatcher(tiny_program, [])
+        site = tiny_program.module("app").function("main").entry + 32
+        record = patcher.patch_site(site, "app", "printf")
+        assert record is None  # libraries are >2GB away
+        assert patcher.stats.out_of_reach == 1
+
+    def test_reach_check_can_be_disabled(self, tiny_program):
+        patcher = CallSitePatcher(tiny_program, [], require_rel32=False)
+        site = tiny_program.module("app").function("main").entry + 32
+        assert patcher.patch_site(site, "app", "printf") is not None
+
+
+class TestPatchCow:
+    def test_each_child_copies_patched_page(self):
+        program, patcher, phys, parent, children = _patched_setup(n_children=4)
+        before = phys.total_frames
+        site = program.module("app").function("main").entry + 32
+        patcher.patch_site(site, "app", "printf")
+        # All four children privatised the page holding the call site.
+        assert phys.total_frames == before + 4
+        assert patcher.stats.cow_copies == 4
+
+    def test_second_patch_same_page_free(self):
+        program, patcher, phys, parent, children = _patched_setup(n_children=2)
+        base = program.module("app").function("main").entry
+        patcher.patch_site(base + 32, "app", "printf")
+        frames_after_first = phys.total_frames
+        patcher.patch_site(base + 48, "app", "memcpy")
+        assert phys.total_frames == frames_after_first
+
+    def test_wasted_bytes_per_process(self):
+        program, patcher, *_ = _patched_setup(n_children=2)
+        base = program.module("app").function("main").entry
+        patcher.patch_site(base + 32, "app", "printf")
+        assert patcher.stats.wasted_bytes_per_process == PAGE_SIZE
+
+    def test_patch_all_sites(self):
+        program, patcher, *_ = _patched_setup(n_children=1)
+        app = program.module("app")
+        sites = [
+            (app.function("main").entry + 32, "app", "printf"),
+            (app.function("handler").entry + 32, "app", "x_parse"),
+        ]
+        records = patcher.patch_all_sites(sites)
+        assert len(records) == 2
+        assert patcher.is_patched(sites[0][0]) and patcher.is_patched(sites[1][0])

@@ -1,0 +1,201 @@
+"""Tests for runtime library loading/unloading and coherence snooping.
+
+The paper argues the hardware "implicitly supports" library unload and
+replacement (Section 4): GOT rewrites are ordinary stores, so the Bloom
+filter catches them and the ABTB degrades gracefully — unlike the
+software patching baseline, which leaves dangling patched call sites.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MechanismConfig, TrampolineSkipMechanism
+from repro.errors import LinkError, TraceError
+from repro.isa.events import coherence_inval
+from repro.isa.kinds import EventKind
+from repro.linker import ClassicLayout, DynamicLinker, FunctionSpec, ModuleSpec, StaticLinker
+from repro.trace.engine import ExecutionEngine, LinkMode
+from repro.uarch import CPU
+from tests.conftest import tiny_specs
+
+
+def _program_with_layout():
+    exe, libs = tiny_specs()
+    layout = ClassicLayout(aslr=False)
+    linker = DynamicLinker()
+    program = linker.link(exe, libs, layout)
+    return linker, program, layout
+
+
+class TestDlopen:
+    def test_dlopen_adds_module_and_symbols(self):
+        linker, program, layout = _program_with_layout()
+        plugin = ModuleSpec("plugin.so", [FunctionSpec("plugin_init", 128)], imports=["memcpy"])
+        image = linker.dlopen(program, plugin, layout)
+        assert "plugin.so" in program.modules
+        assert program.symbols.lookup("plugin_init").module == "plugin.so"
+        assert image.text_base > 0
+
+    def test_dlopen_imports_bind_lazily(self):
+        linker, program, layout = _program_with_layout()
+        plugin = ModuleSpec("plugin.so", [FunctionSpec("plugin_init", 128)], imports=["memcpy"])
+        linker.dlopen(program, plugin, layout)
+        binding = program.bind_call("plugin.so", "memcpy")
+        assert binding.first_call and binding.via_plt
+
+    def test_dlopen_does_not_interpose(self):
+        linker, program, layout = _program_with_layout()
+        original = program.symbols.lookup("printf").address
+        shadow = ModuleSpec("shadow.so", [FunctionSpec("printf", 64)])
+        linker.dlopen(program, shadow, layout)
+        assert program.symbols.lookup("printf").address == original
+
+    def test_dlopen_duplicate_rejected(self):
+        linker, program, layout = _program_with_layout()
+        with pytest.raises(LinkError):
+            linker.dlopen(program, ModuleSpec("libc.so", []), layout)
+
+    def test_dlopen_undefined_import_rejected(self):
+        linker, program, layout = _program_with_layout()
+        bad = ModuleSpec("bad.so", [], imports=["no_such_symbol"])
+        with pytest.raises(LinkError):
+            linker.dlopen(program, bad, layout)
+
+    def test_dlopen_then_call_through_engine(self):
+        linker, program, layout = _program_with_layout()
+        plugin = ModuleSpec("plugin.so", [FunctionSpec("plugin_init", 128)], imports=[])
+        linker.dlopen(program, plugin, layout)
+        exe_main = program.module("app").function("main").entry
+        # The app cannot call plugin_init via its PLT (not imported at link
+        # time) — dlopened symbols are reached via dlsym-style pointers,
+        # which is exactly the CALL_INDIRECT path.
+        with pytest.raises(LinkError):
+            program.bind_call("app", "plugin_init")
+        assert exe_main  # sanity
+
+
+class TestDlclose:
+    def test_dlclose_emits_got_reset_stores(self):
+        linker, program, layout = _program_with_layout()
+        engine = ExecutionEngine(program)
+        site = program.module("app").function("main").entry + 32
+        engine.call_events("app", "printf", site)  # resolve printf
+        events = engine.dlclose_events("libc.so")
+        stores = [e for e in events if e.kind == EventKind.STORE]
+        assert len(stores) == 1
+        assert stores[0].tag == "got-store"
+
+    def test_dlclose_flushes_abtb_via_bloom(self):
+        linker, program, layout = _program_with_layout()
+        engine = ExecutionEngine(program)
+        mech = TrampolineSkipMechanism()
+        cpu = CPU(mechanism=mech)
+        site = program.module("app").function("main").entry + 32
+        for _ in range(4):  # resolve + learn + skip
+            events, binding = engine.call_events("app", "printf", site)
+            events += engine.return_events(binding, site)
+            cpu.run(events)
+        assert cpu.finalize().trampolines_skipped >= 1
+        cpu.run(engine.dlclose_events("libc.so"))
+        assert len(mech.abtb) == 0  # the GOT reset store flushed everything
+        assert mech.stats.unsafe_skips == 0
+
+    def test_dlclose_only_under_dynamic_linking(self):
+        exe, libs = tiny_specs()
+        program = StaticLinker().link(exe, libs)
+        engine = ExecutionEngine(program, LinkMode.STATIC)
+        with pytest.raises(TraceError):
+            engine.dlclose_events("libc.so")
+
+    def test_reload_after_dlclose(self):
+        linker, program, layout = _program_with_layout()
+        engine = ExecutionEngine(program)
+        site = program.module("app").function("main").entry + 32
+        engine.call_events("app", "printf", site)
+        engine.dlclose_events("libc.so")
+        # Reload a fixed libc (new address), app re-resolves lazily.
+        fixed = ModuleSpec(
+            "libc.so",
+            [FunctionSpec("printf", 256), FunctionSpec("memcpy", 128), FunctionSpec("strlen", 64)],
+        )
+        linker.dlopen(program, fixed, layout)
+        # app's GOT slot for printf was reset: the next call resolves again.
+        events, binding = engine.call_events("app", "printf", site)
+        assert binding.first_call
+        assert binding.func_addr == program.module("libc.so").function("printf").entry
+
+
+class TestCoherenceInvalidation:
+    def test_remote_invalidation_flushes(self):
+        from tests.test_cpu import GOT, plt_call
+
+        mech = TrampolineSkipMechanism()
+        cpu = CPU(mechanism=mech)
+        cpu.run(plt_call() * 3)
+        assert len(mech.abtb) == 1
+        cpu.run([coherence_inval(GOT)])
+        assert len(mech.abtb) == 0
+        assert mech.stats.coherence_flushes == 1
+
+    def test_unrelated_invalidation_ignored(self):
+        from tests.test_cpu import plt_call
+
+        mech = TrampolineSkipMechanism()
+        cpu = CPU(mechanism=mech)
+        cpu.run(plt_call() * 3)
+        cpu.run([coherence_inval(0x123456)])
+        assert len(mech.abtb) == 1
+
+    def test_invalidation_costs_no_instructions(self):
+        cpu = CPU(mechanism=TrampolineSkipMechanism())
+        cpu.run([coherence_inval(0x1000)])
+        c = cpu.finalize()
+        assert c.instructions == 0 and c.cycles == 0
+
+    def test_base_cpu_ignores_invalidations(self):
+        cpu = CPU()
+        cpu.run([coherence_inval(0x1000)])
+        assert cpu.finalize().instructions == 0
+
+
+class TestVirtualCalls:
+    def _workload(self, prob: float):
+        from tests.test_integration import tiny_workload_config
+        from repro.workloads.base import RequestClass, Workload
+
+        rc = RequestClass(
+            "R", segments=30, segment_instr=40, call_prob=0.5,
+            phase_len=10, phase_set=2, app_phase_fns=4, virtual_call_prob=prob,
+        )
+        return Workload(tiny_workload_config(request_classes=(rc,)))
+
+    def test_virtual_calls_emitted(self):
+        wl = self._workload(0.5)
+        kinds = [e.kind for e in wl.trace(5, include_marks=False)]
+        assert EventKind.CALL_INDIRECT in kinds
+
+    def test_virtual_calls_never_skipped(self):
+        # Section 2.4.2: virtual dispatch uses a different instruction
+        # sequence; the mechanism leaves it alone.
+        wl = self._workload(1.0)
+        mech = TrampolineSkipMechanism()
+        cpu = CPU(mechanism=mech)
+        cpu.run(wl.startup_trace())
+        base_skips = cpu.finalize().trampolines_skipped
+        cpu.run(wl.trace(20, include_marks=False))
+        c = cpu.finalize()
+        # Trampolines still skip, but indirect-call counts are untouched
+        # by the skip machinery: every CALL_INDIRECT executed.
+        assert c.trampolines_skipped > base_skips
+        assert mech.stats.unsafe_skips == 0
+
+    def test_virtual_calls_add_btb_pressure(self):
+        quiet = self._workload(0.0)
+        noisy = self._workload(1.0)
+        counters = []
+        for wl in (quiet, noisy):
+            cpu = CPU()
+            cpu.run(wl.trace(10, include_marks=False))
+            counters.append(cpu.finalize())
+        assert counters[1].btb_lookups > counters[0].btb_lookups

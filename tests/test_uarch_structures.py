@@ -1,0 +1,254 @@
+"""Unit tests for caches, TLBs, BTB, predictors and counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.uarch import BTB, GsharePredictor, PerfCounters, ReturnAddressStack, SetAssociativeCache, TLB
+from repro.uarch.timing import TimingModel
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        cache = SetAssociativeCache("L1", 1024, 64, 2)
+        assert not cache.access(0x1000)
+        assert cache.access(0x1000)
+        assert cache.access(0x1020)  # same line
+
+    def test_capacity_eviction_lru(self):
+        cache = SetAssociativeCache("L1", 2 * 64, 64, 2)  # 1 set, 2 ways
+        cache.access(0 * 64)
+        cache.access(1 * 64)
+        cache.access(0 * 64)  # refresh line 0
+        cache.access(2 * 64)  # evicts line 1 (LRU)
+        assert cache.contains(0 * 64)
+        assert not cache.contains(1 * 64)
+
+    def test_sets_isolate_lines(self):
+        cache = SetAssociativeCache("L1", 4 * 64, 64, 1)  # 4 sets, direct-mapped
+        cache.access(0 * 64)
+        cache.access(1 * 64)
+        assert cache.contains(0) and cache.contains(64)
+
+    def test_conflict_in_direct_mapped(self):
+        cache = SetAssociativeCache("L1", 4 * 64, 64, 1)
+        cache.access(0 * 64)
+        cache.access(4 * 64)  # same set (4 sets), different tag
+        assert not cache.contains(0)
+
+    def test_access_range_spans_lines(self):
+        cache = SetAssociativeCache("L1", 1024, 64, 2)
+        misses = cache.access_range(0x1000, 130)  # 3 lines
+        assert misses == 3
+        assert cache.accesses == 3
+
+    def test_access_range_empty(self):
+        cache = SetAssociativeCache("L1", 1024, 64, 2)
+        assert cache.access_range(0x1000, 0) == 0
+
+    def test_flush_preserves_stats(self):
+        cache = SetAssociativeCache("L1", 1024, 64, 2)
+        cache.access(0x1000)
+        cache.flush()
+        assert cache.misses == 1
+        assert not cache.contains(0x1000)
+
+    def test_miss_rate(self):
+        cache = SetAssociativeCache("L1", 1024, 64, 2)
+        cache.access(0)
+        cache.access(0)
+        assert cache.miss_rate == 0.5
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            SetAssociativeCache("L1", 1000, 64, 2)
+        with pytest.raises(ConfigError):
+            SetAssociativeCache("L1", 3 * 64 * 2, 64, 2)  # 3 sets: not power of two
+        with pytest.raises(ConfigError):
+            SetAssociativeCache("L1", 1024, 48, 2)
+
+
+class TestTLB:
+    def test_page_granularity(self):
+        tlb = TLB("ITLB", 16, 4)
+        assert not tlb.access(0x1000)
+        assert tlb.access(0x1FFF)  # same page
+        assert not tlb.access(0x2000)
+
+    def test_flush_invalidates(self):
+        tlb = TLB("ITLB", 16, 4)
+        tlb.access(0x1000)
+        tlb.flush()
+        assert not tlb.access(0x1000)
+
+    def test_capacity_lru(self):
+        tlb = TLB("T", 2, 2)  # one set, two ways
+        tlb.access_page(1)
+        tlb.access_page(2)
+        tlb.access_page(1)
+        tlb.access_page(3)  # evicts page 2
+        assert tlb.access_page(1)
+        assert not tlb.access_page(2)
+
+    def test_access_range_pages(self):
+        tlb = TLB("T", 16, 4)
+        assert tlb.access_range(0xFFF, 2) == 2  # crosses a page boundary
+
+    def test_bad_geometry(self):
+        with pytest.raises(ConfigError):
+            TLB("T", 10, 4)
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BTB(64, 4)
+        assert btb.lookup(0x1000) is None
+        btb.update(0x1000, 0x2000)
+        assert btb.lookup(0x1000) == 0x2000
+
+    def test_update_corrects_target(self):
+        btb = BTB(64, 4)
+        btb.update(0x1000, 0x2000)
+        btb.update(0x1000, 0x3000)
+        assert btb.lookup(0x1000) == 0x3000
+
+    def test_peek_does_not_count(self):
+        btb = BTB(64, 4)
+        btb.update(0x1000, 0x2000)
+        assert btb.peek(0x1000) == 0x2000
+        assert btb.lookups == 0
+
+    def test_eviction_within_set(self):
+        btb = BTB(4, 1)  # 4 sets, direct-mapped; pcs map by (pc>>2)&3
+        btb.update(0x0, 0xA)
+        btb.update(0x10, 0xB)  # same set 0
+        assert btb.peek(0x0) is None
+        assert btb.peek(0x10) == 0xB
+
+    def test_invalidate_single_entry(self):
+        btb = BTB(64, 4)
+        btb.update(0x1000, 0x2000)
+        btb.invalidate(0x1000)
+        assert btb.peek(0x1000) is None
+
+    def test_flush_and_occupancy(self):
+        btb = BTB(64, 4)
+        btb.update(0x1000, 0x2000)
+        btb.update(0x2000, 0x3000)
+        assert btb.occupancy == 2
+        btb.flush()
+        assert btb.occupancy == 0
+
+
+class TestGshare:
+    def test_learns_constant_direction(self):
+        pred = GsharePredictor(256, 8)
+        for _ in range(8):
+            pred.record(0x1000, True)
+        assert pred.predict(0x1000)
+        misses_before = pred.mispredictions
+        pred.record(0x1000, True)
+        assert pred.mispredictions == misses_before
+
+    def test_learns_alternating_with_history(self):
+        pred = GsharePredictor(1024, 4)
+        # After warmup, gshare learns a strict alternation via history.
+        outcomes = [bool(i % 2) for i in range(200)]
+        for taken in outcomes[:100]:
+            pred.record(0x1000, taken)
+        before = pred.mispredictions
+        for taken in outcomes[100:]:
+            pred.record(0x1000, taken)
+        assert pred.mispredictions - before < 10
+
+    def test_reset_history_only(self):
+        pred = GsharePredictor(256, 8)
+        for _ in range(4):
+            pred.record(0x40, True)
+        pred.reset_history()
+        assert pred.predictions == 4
+
+
+class TestRAS:
+    def test_balanced_calls_predict(self):
+        ras = ReturnAddressStack(8)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert not ras.pop_and_check(0x200)
+        assert not ras.pop_and_check(0x100)
+        assert ras.mispredictions == 0
+
+    def test_underflow_mispredicts(self):
+        ras = ReturnAddressStack(8)
+        assert ras.pop_and_check(0x100)
+        assert ras.mispredictions == 1
+
+    def test_overflow_loses_oldest(self):
+        ras = ReturnAddressStack(2)
+        ras.push(0x1)
+        ras.push(0x2)
+        ras.push(0x3)  # 0x1 falls off
+        assert not ras.pop_and_check(0x3)
+        assert not ras.pop_and_check(0x2)
+        assert ras.pop_and_check(0x1)  # lost
+
+    def test_clear(self):
+        ras = ReturnAddressStack(4)
+        ras.push(0x1)
+        ras.clear()
+        assert ras.pop_and_check(0x1)
+
+
+class TestPerfCounters:
+    def test_delta(self):
+        a = PerfCounters(instructions=100, l1i_misses=5)
+        b = PerfCounters(instructions=300, l1i_misses=9)
+        d = b.delta(a)
+        assert d.instructions == 200 and d.l1i_misses == 4
+
+    def test_merge(self):
+        a = PerfCounters(instructions=100)
+        b = PerfCounters(instructions=50, loads=3)
+        m = a.merge(b)
+        assert m.instructions == 150 and m.loads == 3
+
+    def test_pki(self):
+        c = PerfCounters(instructions=2000, branch_mispredictions=4)
+        assert c.pki("branch_mispredictions") == 2.0
+
+    def test_pki_empty(self):
+        assert PerfCounters().pki("l1i_misses") == 0.0
+
+    def test_unknown_counter_rejected(self):
+        with pytest.raises(TypeError):
+            PerfCounters(bogus=1)
+
+    def test_table4_row_keys(self):
+        row = PerfCounters(instructions=1000).table4_row()
+        assert set(row) == {
+            "I-$ Misses",
+            "I-TLB Misses",
+            "D-$ Misses",
+            "D-TLB Misses",
+            "Branch Mispredictions",
+        }
+
+    def test_copy_is_independent(self):
+        a = PerfCounters(loads=1)
+        b = a.copy()
+        b.loads = 9
+        assert a.loads == 1
+
+
+class TestTimingModel:
+    def test_cycle_conversion(self):
+        t = TimingModel(clock_ghz=3.0)
+        assert t.cycles_to_microseconds(3000) == 1.0
+        assert t.cycles_to_seconds(3e9) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TimingModel(base_cpi=0)
+        with pytest.raises(ConfigError):
+            TimingModel(l1i_miss=-1)
