@@ -1,0 +1,342 @@
+"""The injectable fault catalogue.
+
+Every fault perturbs a live run the way a hostile-but-real workload would
+(arXiv:1902.06570's demand-driven code arrival/removal, arXiv:2501.06716's
+observable linking failures):
+
+* :class:`GotRewriteFault` — a GOT slot is rewritten mid-window, as a
+  simulated ``dlclose``/re-``dlopen`` relocating the target function;
+* :class:`IfuncReselectFault` — the hwcap level changes and every resolved
+  ifunc selector re-runs through the linker, rewriting changed slots;
+* :class:`ContextSwitchFault` — forced context switches;
+* :class:`SpuriousInvalFault` — coherence invalidations for addresses
+  nobody wrote (plus some aimed at live GOT slots);
+* :class:`BloomSaturationFault` — adversarial bursts that first widen the
+  Bloom filter's population with synthetic trampoline pairs, then hammer
+  it with distinct store addresses to maximise false-positive flushes;
+* :class:`AbtbThrashFault` — more synthetic pairs than the ABTB has
+  entries, forcing capacity evictions of the workload's hot mappings;
+* :class:`LossyCoherence` — a :class:`~repro.uarch.multicore.DualCoreSystem`
+  coherence filter that drops invalidations (by default only provably
+  harmless ones; ``unsafe=True`` models broken hardware the oracle must
+  catch);
+* :func:`corrupted_stream` — trace-corruption trials (truncated,
+  duplicated, malformed events) that must raise ``TraceError``.
+
+Faults mutate linker ground truth through public
+:class:`~repro.linker.dynamic.LinkedProgram` APIs and queue the matching
+truth updates with the oracle, so the oracle stays exact in stream order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chaos.oracle import CorrectnessOracle
+from repro.core.mechanism import TrampolineSkipMechanism
+from repro.isa.events import (
+    TraceEvent,
+    block,
+    call_direct,
+    coherence_inval,
+    context_switch,
+    jmp_indirect,
+    mark,
+    store,
+)
+from repro.isa.kinds import EventKind
+from repro.linker.dynamic import LinkedProgram
+
+#: Where the chaos harness pretends ld.so's rewrite paths live.
+LINKER_PC = 0x7FFF_F7DC_0000
+#: Base of the synthetic address region used by thrash/saturation faults —
+#: far from every real module, GOT and heap so ground truth never collides.
+SYNTH_BASE = 0x5A5A_0000_0000
+#: Relocation distance for a simulated dlclose/re-dlopen ("the library
+#: came back at a new base").
+RELOCATION_STRIDE = 0x22_0000
+
+
+class SyntheticSlots:
+    """Allocates unique synthetic call/stub/function/GOT addresses.
+
+    Shared between the injectors of a dual-core run so the two streams
+    never fabricate colliding trampolines.
+    """
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+
+    def pair(self, oracle: CorrectnessOracle) -> list[TraceEvent]:
+        """One self-consistent synthetic trampoline pair (call + stub)."""
+        i = next(self._counter)
+        site = SYNTH_BASE + i * 64
+        tramp = SYNTH_BASE + 0x10_0000_0000 + i * 16
+        func = SYNTH_BASE + 0x20_0000_0000 + i * 64
+        got = SYNTH_BASE + 0x30_0000_0000 + i * 8
+        oracle.register_slot(got, func)
+        return [call_direct(site, tramp), jmp_indirect(tramp, func, got)]
+
+
+@dataclass
+class ChaosContext:
+    """Everything a fault may touch when it fires on one core."""
+
+    program: LinkedProgram
+    oracle: CorrectnessOracle
+    mechanism: TrampolineSkipMechanism | None = None
+    synth: SyntheticSlots = field(default_factory=SyntheticSlots)
+
+    def resolved_slots(self) -> list[tuple[str, str, int, int]]:
+        """(caller, symbol, got_addr, value) for every resolved real slot."""
+        out = []
+        for got_addr, (caller, symbol) in self.oracle.slot_index().items():
+            try:
+                value = self.program.got_value(caller, symbol)
+            except KeyError:
+                continue
+            if value is not None:
+                out.append((caller, symbol, got_addr, value))
+        return out
+
+
+class Fault:
+    """One injectable fault; subclasses return the events to splice in."""
+
+    name = "fault"
+
+    def fire(self, ctx: ChaosContext, rng: np.random.Generator) -> list[TraceEvent]:
+        raise NotImplementedError
+
+
+@dataclass
+class GotRewriteFault(Fault):
+    """Rewrite a live GOT slot (simulated ``dlclose`` + re-``dlopen``).
+
+    With ``software_invalidate=True`` the emitted store carries the
+    ``"got-store"`` tag, honouring the §3.4 software contract (a modified
+    linker issues the explicit ABTB invalidation).  Set it to False to
+    model the hostile case the §3.4 hazard analysis predicts: the GOT
+    changes and software tells the hardware nothing — with the Bloom
+    filter the raw store is still snooped and the mechanism stays safe;
+    without it, the oracle must catch the stale skip.
+    """
+
+    software_invalidate: bool = True
+    stride: int = RELOCATION_STRIDE
+    name: str = "got-rewrite"
+
+    def fire(self, ctx: ChaosContext, rng: np.random.Generator) -> list[TraceEvent]:
+        slots = ctx.resolved_slots()
+        if not slots:
+            return []
+        # Prefer slots backing live ABTB entries: rewriting a mapping the
+        # mechanism is actively using is the interesting case.
+        if ctx.mechanism is not None:
+            live = ctx.mechanism.abtb.got_addresses()
+            hot = [s for s in slots if s[2] in live]
+            if hot:
+                slots = hot
+        caller, symbol, got_addr, value = slots[int(rng.integers(0, len(slots)))]
+        new_value = value + self.stride
+        ctx.program.rewrite_got(caller, symbol, new_value)
+        ctx.oracle.queue_truth(got_addr, new_value)
+        rewrite_store = store(LINKER_PC + 0x80, got_addr)
+        if self.software_invalidate:
+            rewrite_store.tag = "got-store"
+        return [block(LINKER_PC, 40, 160), rewrite_store]
+
+
+@dataclass
+class IfuncReselectFault(Fault):
+    """Cycle the hwcap level and re-run every resolved ifunc selector."""
+
+    levels: int = 3
+    name: str = "ifunc-reselect"
+
+    def fire(self, ctx: ChaosContext, rng: np.random.Generator) -> list[TraceEvent]:
+        level = (ctx.program.hwcap_level + 1) % max(self.levels, 1)
+        rewrites = ctx.program.reselect_ifuncs(level)
+        if not rewrites:
+            return []
+        events = [block(LINKER_PC + 0x1000, 30 + 8 * len(rewrites), 0x200)]
+        for _caller, _symbol, got_addr, new_entry in rewrites:
+            ctx.oracle.queue_truth(got_addr, new_entry)
+            reselect_store = store(LINKER_PC + 0x1080, got_addr)
+            reselect_store.tag = "got-store"
+            events.append(reselect_store)
+        return events
+
+
+@dataclass
+class ContextSwitchFault(Fault):
+    """Force an OS context switch (TLB/BTB/ABTB-without-ASID flush)."""
+
+    name: str = "context-switch"
+
+    def fire(self, ctx: ChaosContext, rng: np.random.Generator) -> list[TraceEvent]:
+        return [context_switch()]
+
+
+@dataclass
+class SpuriousInvalFault(Fault):
+    """Coherence invalidations that correspond to no local write.
+
+    Half target live GOT slots (forcing a conservative flush), half are
+    random addresses that can only flush through Bloom false positives.
+    Either way the mechanism must merely lose performance, never safety.
+    """
+
+    count: int = 4
+    name: str = "spurious-inval"
+
+    def fire(self, ctx: ChaosContext, rng: np.random.Generator) -> list[TraceEvent]:
+        known = sorted(ctx.oracle.known_slots())
+        events = []
+        for _ in range(self.count):
+            if known and rng.random() < 0.5:
+                addr = known[int(rng.integers(0, len(known)))]
+            else:
+                addr = int(rng.integers(1 << 20, 1 << 46)) & ~0x7
+            events.append(coherence_inval(addr))
+        return events
+
+
+@dataclass
+class BloomSaturationFault(Fault):
+    """Adversarial store stream maximising false-positive flushes.
+
+    Synthetic trampoline pairs first widen the filter's population (every
+    learn adds a GOT address), then a burst of distinct store addresses
+    probes it — with a small filter, false positives flush the ABTB even
+    though no GOT was touched.
+    """
+
+    pairs: int = 16
+    probes: int = 64
+    name: str = "bloom-saturation"
+
+    def fire(self, ctx: ChaosContext, rng: np.random.Generator) -> list[TraceEvent]:
+        events: list[TraceEvent] = []
+        for _ in range(self.pairs):
+            events.extend(ctx.synth.pair(ctx.oracle))
+        probe_pc = SYNTH_BASE + 0x40_0000_0000
+        for _ in range(self.probes):
+            addr = int(rng.integers(1 << 24, 1 << 45)) & ~0x7
+            events.append(store(probe_pc, addr))
+        return events
+
+
+@dataclass
+class AbtbThrashFault(Fault):
+    """More synthetic trampoline pairs than the ABTB holds.
+
+    Forces capacity evictions of the workload's hot mappings; the
+    evicted entries' GOT addresses stay in the Bloom filter, so later
+    GOT writes still flush conservatively — safety must survive thrash.
+    """
+
+    burst: int = 0  # 0 → ABTB capacity + 8
+    name: str = "abtb-thrash"
+
+    def fire(self, ctx: ChaosContext, rng: np.random.Generator) -> list[TraceEvent]:
+        burst = self.burst
+        if burst <= 0:
+            burst = (ctx.mechanism.abtb.entries + 8) if ctx.mechanism is not None else 64
+        events: list[TraceEvent] = []
+        for _ in range(burst):
+            events.extend(ctx.synth.pair(ctx.oracle))
+        return events
+
+
+class LossyCoherence:
+    """A :class:`DualCoreSystem` coherence filter that drops invalidations.
+
+    By default only *provably harmless* invalidations are dropped: stores
+    that are not GOT writes (their addresses are not GOT slots, so losing
+    the invalidation can at most suppress a false-positive flush on the
+    sibling).  ``unsafe=True`` drops GOT-write invalidations too — the
+    broken-hardware scenario the oracle exists to detect.
+    """
+
+    def __init__(
+        self,
+        oracle: CorrectnessOracle,
+        drop_prob: float = 0.5,
+        unsafe: bool = False,
+        seed: int = 0,
+    ) -> None:
+        self.oracle = oracle
+        self.drop_prob = drop_prob
+        self.unsafe = unsafe
+        self.dropped = 0
+        self._rng = np.random.default_rng(seed)
+
+    def __call__(self, src_core: int, ev: TraceEvent) -> bool:
+        is_got_write = ev.tag == "got-store" or ev.mem_addr in self.oracle.known_slots()
+        if is_got_write and not self.unsafe:
+            return True
+        if self._rng.random() < self.drop_prob:
+            self.dropped += 1
+            return False
+        return True
+
+
+#: Corruption trial kinds understood by :func:`corrupted_stream`.
+CORRUPTION_KINDS = (
+    "bad-kind",
+    "negative-size",
+    "bad-mark",
+    "dup-begin",
+    "end-without-begin",
+    "truncated-call",
+)
+
+
+def corrupted_stream(kind: str) -> list[TraceEvent]:
+    """A small stream carrying one corruption of the given kind.
+
+    Driving it through :func:`repro.trace.validate.validated` must raise
+    :class:`~repro.errors.TraceError` — never silently mis-execute.
+    """
+    benign = [
+        mark(("begin", "probe", 1)),
+        block(0x40_0000, 8),
+        store(0x40_0020, 0x60_0000),
+        mark(("end", "probe", 1)),
+    ]
+    if kind == "bad-kind":
+        bad = TraceEvent(99, 0x40_0040, 1, 4)  # type: ignore[arg-type]
+        return benign + [bad]
+    if kind == "negative-size":
+        bad = TraceEvent(EventKind.BLOCK, 0x40_0040, -3, 4)
+        return benign + [bad]
+    if kind == "bad-mark":
+        return benign + [mark(("bork", "probe", 2))]
+    if kind == "dup-begin":
+        return benign + [mark(("begin", "probe", 2)), mark(("begin", "probe", 2))]
+    if kind == "end-without-begin":
+        return benign + [mark(("end", "probe", 7))]
+    if kind == "truncated-call":
+        return benign + [call_direct(0x40_0040, 0x41_0000)]
+    raise ValueError(f"unknown corruption kind {kind!r}")
+
+
+def default_faults(
+    software_invalidate: bool = True,
+    include_rewrites: bool = True,
+) -> list[Fault]:
+    """The standard five-plus fault mix used by campaigns."""
+    faults: list[Fault] = [
+        ContextSwitchFault(),
+        SpuriousInvalFault(),
+        BloomSaturationFault(),
+        AbtbThrashFault(),
+    ]
+    if include_rewrites:
+        faults.insert(0, GotRewriteFault(software_invalidate=software_invalidate))
+        faults.insert(1, IfuncReselectFault())
+    return faults

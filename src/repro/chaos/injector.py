@@ -1,0 +1,123 @@
+"""The fault injector: splices faults into live event streams.
+
+An :class:`Injector` wraps a trace generator.  At *safe* stream positions
+(never between a trampoline pair's call and its stub, which would desync
+the CPU's pairing logic) it consults its schedule — a seeded RNG rate, a
+list of fixed event indices, or both — and splices the chosen fault's
+events into the stream.  Every instrumented stream also flows through
+:func:`repro.trace.validate.validated`, so injected trace corruption is
+guaranteed to raise :class:`~repro.errors.TraceError` instead of silently
+mis-executing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.chaos.faults import ChaosContext, Fault
+from repro.errors import ChaosError
+from repro.isa.events import TraceEvent
+from repro.isa.kinds import EventKind
+from repro.trace.validate import validated
+
+#: Kinds an injection may precede.  A fault fired before any of these can
+#: never split a call→stub trampoline pair (pairs start with CALL_DIRECT
+#: and continue with the stub's BLOCK/JMP_INDIRECT).
+SAFE_HEADS = frozenset(
+    {
+        EventKind.BLOCK,
+        EventKind.LOAD,
+        EventKind.STORE,
+        EventKind.COND_BRANCH,
+        EventKind.MARK,
+        EventKind.CONTEXT_SWITCH,
+        EventKind.RET,
+        EventKind.COHERENCE_INVAL,
+    }
+)
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """One fault firing: where, what, and how many events it spliced in."""
+
+    index: int
+    fault: str
+    n_events: int
+
+
+class Injector:
+    """Composes faults over one core's event stream.
+
+    Args:
+        faults: the fault mix; the RNG schedule picks uniformly among them.
+        ctx: shared chaos state (program, oracle, mechanism, allocator).
+        seed: seed for the injection schedule *and* the faults' own draws.
+        rate: per-safe-event probability of firing a random fault
+            (0 disables the random schedule).
+        at: fixed (event_index, fault) pairs; each fires at the first safe
+            position at or after its index.  Works alongside ``rate``.
+        validate: route the instrumented stream through the trace
+            validator (on by default — chaos runs must detect corruption).
+    """
+
+    def __init__(
+        self,
+        faults: Sequence[Fault],
+        ctx: ChaosContext,
+        seed: int = 0,
+        rate: float = 0.0,
+        at: Sequence[tuple[int, Fault]] = (),
+        validate: bool = True,
+    ) -> None:
+        if rate < 0 or rate >= 1:
+            raise ChaosError(f"injection rate must be in [0, 1), got {rate}")
+        if rate and not faults:
+            raise ChaosError("a nonzero rate needs at least one fault")
+        self.faults = list(faults)
+        self.ctx = ctx
+        self.rate = rate
+        self.validate = validate
+        self._rng = np.random.default_rng(seed)
+        self._scheduled = sorted(at, key=lambda pair: pair[0])
+        self.index = 0
+        self.injected = 0
+        self.events_spliced = 0
+        self.fault_counts: dict[str, int] = {}
+        self.records: list[InjectionRecord] = []
+
+    # ----------------------------------------------------------- wrapping
+
+    def wrap(self, events: Iterable[TraceEvent]) -> Iterator[TraceEvent]:
+        """The instrumented stream: base events plus spliced faults."""
+        stream = self._instrument(events)
+        return validated(stream) if self.validate else stream
+
+    def _instrument(self, events: Iterable[TraceEvent]) -> Iterator[TraceEvent]:
+        for ev in events:
+            if ev.kind in SAFE_HEADS:
+                for fault in self._due():
+                    yield from self._fire(fault)
+            yield ev
+            self.index += 1
+
+    def _due(self) -> list[Fault]:
+        """Faults scheduled to fire at (or before) the current position."""
+        due: list[Fault] = []
+        while self._scheduled and self._scheduled[0][0] <= self.index:
+            due.append(self._scheduled.pop(0)[1])
+        if self.rate and self._rng.random() < self.rate:
+            due.append(self.faults[int(self._rng.integers(0, len(self.faults)))])
+        return due
+
+    def _fire(self, fault: Fault) -> list[TraceEvent]:
+        spliced = fault.fire(self.ctx, self._rng)
+        if spliced:
+            self.injected += 1
+            self.events_spliced += len(spliced)
+            self.fault_counts[fault.name] = self.fault_counts.get(fault.name, 0) + 1
+            self.records.append(InjectionRecord(self.index, fault.name, len(spliced)))
+        return spliced

@@ -1,0 +1,191 @@
+"""The stale-target correctness oracle.
+
+The paper's entire safety argument (§3.2–§3.4) is that any GOT write —
+lazy resolution, ``dlclose``, ifunc re-selection, a cross-core
+invalidation — flushes the ABTB before a stale target can be committed.
+The oracle checks that claim independently of the mechanism: it shadows
+the ground-truth GOT state (the dynamic linker's live slots) and audits
+*every committed skip* against it.
+
+Two regimes:
+
+* ``expect_hazards=False`` (the transparent §3.2 design, ``use_bloom=True``):
+  a skip to a target that differs from the slot's current contents is an
+  :class:`~repro.errors.OracleViolation` — the hardware model is broken.
+* ``expect_hazards=True`` (the §3.4 alternative with the software
+  invalidation contract deliberately violated): the same observation is
+  the *predicted* hazard, detected and counted in ``hazards_detected``.
+
+Truth bookkeeping is stream-ordered: a fault that rewrites a GOT slot
+queues the new value, and the oracle applies it only when the matching
+store *retires* on a core (via :class:`~repro.uarch.cpu.CPUHooks`).  That
+keeps the oracle exact even when the dual-core system buffers whole event
+slices between generation and execution.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import OracleViolation
+from repro.isa.events import TraceEvent
+from repro.linker.dynamic import LinkedProgram
+from repro.uarch.cpu import CPUHooks
+
+#: Sentinel truth value for a slot that has been reset (dlclose) — any
+#: committed skip against it is stale by definition.
+RESET = 0
+
+
+@dataclass(frozen=True)
+class SkipRecord:
+    """One stale skip the oracle observed."""
+
+    ordinal: int
+    call_pc: int
+    trampoline_pc: int
+    got_addr: int
+    committed: int
+    truth: int
+
+    def describe(self) -> str:
+        return (
+            f"skip #{self.ordinal}: call {self.call_pc:#x} via stub "
+            f"{self.trampoline_pc:#x} committed {self.committed:#x} but "
+            f"GOT[{self.got_addr:#x}] holds {self.truth:#x}"
+        )
+
+
+@dataclass
+class CorrectnessOracle(CPUHooks):
+    """Shadows every skip decision against ground-truth GOT state.
+
+    One oracle instance can audit several cores at once — hook it into
+    each :class:`~repro.uarch.cpu.CPU` of a
+    :class:`~repro.uarch.multicore.DualCoreSystem` and it sees the
+    machine-wide store order the coherence protocol provides.
+    """
+
+    program: LinkedProgram
+    expect_hazards: bool = False
+    raise_on_violation: bool = False
+
+    skips_checked: int = 0
+    hazards_detected: int = 0
+    unknown_slots: int = 0
+    trace_divergences: int = 0
+    violations: list[SkipRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._index: dict[int, tuple[str, str]] = {}
+        self._known: set[int] = set()
+        self._truth: dict[int, int] = {}
+        self._pending: dict[int, deque[int]] = {}
+        self.rebuild_index()
+
+    # ----------------------------------------------------------- indexing
+
+    def rebuild_index(self) -> None:
+        """Re-derive the got_addr → (caller, symbol) map from the program.
+
+        Call after structural changes (dlclose/dlopen) that add or remove
+        modules; plain GOT rewrites never move slots.
+        """
+        for name, image in self.program.modules.items():
+            for sym in image.imports():
+                self._index[image.got_slot(sym)] = (name, sym)
+        self._known = set(self._index)
+
+    def slot_index(self) -> dict[int, tuple[str, str]]:
+        """The live got_addr → (caller, symbol) map (do not mutate)."""
+        return self._index
+
+    def known_slots(self) -> set[int]:
+        """Addresses of every real GOT slot the oracle tracks."""
+        return self._known
+
+    def register_slot(self, got_addr: int, target: int) -> None:
+        """Declare a synthetic GOT slot (ABTB-thrash faults) and its truth."""
+        self._truth[got_addr] = target
+
+    def queue_truth(self, got_addr: int, target: int) -> None:
+        """Schedule a truth update, applied when the store to the slot retires."""
+        self._pending.setdefault(got_addr, deque()).append(target)
+
+    def _lookup(self, got_addr: int) -> int | None:
+        """Current ground-truth contents of a slot (None when untracked)."""
+        cached = self._truth.get(got_addr)
+        if cached is not None:
+            return cached
+        pair = self._index.get(got_addr)
+        if pair is None:
+            return None
+        try:
+            value = self.program.got_value(*pair)
+        except KeyError:
+            return None
+        truth = value if value is not None else RESET
+        self._truth[got_addr] = truth
+        return truth
+
+    # -------------------------------------------------------------- hooks
+
+    def on_store(self, addr: int) -> None:
+        queue = self._pending.get(addr)
+        if queue:
+            self._truth[addr] = queue.popleft()
+            if not queue:
+                del self._pending[addr]
+        elif addr in self._truth and addr in self._index:
+            # A store we did not schedule (the lazy resolver writing the
+            # slot): drop the cached value so the next lookup re-reads the
+            # linker's live state.
+            del self._truth[addr]
+
+    def on_skip(self, call: TraceEvent, jmp: TraceEvent, target: int) -> None:
+        """Audit one committed skip.
+
+        The safety invariant is *equivalence with the trampoline path*:
+        the skip must commit exactly the target the trampoline's GOT load
+        would have delivered at this point in the stream (``jmp.target``).
+        Committing anything else is the stale-target hazard.
+
+        Separately, ``jmp.target`` is cross-checked against the linker's
+        live slot contents.  A mismatch there means the *trace* is stale,
+        not the hardware: with dual-core slice buffering, a chunk
+        generated before a sibling's rewrite legitimately still targets
+        the old function.  Those are counted as ``trace_divergences`` —
+        diagnostics, bounded by one slice window, never a violation.
+        """
+        self.skips_checked += 1
+        truth = self._lookup(jmp.mem_addr)
+        if truth is None:
+            self.unknown_slots += 1
+        if target != jmp.target:
+            record = SkipRecord(
+                self.skips_checked, call.pc, jmp.pc, jmp.mem_addr, target, jmp.target
+            )
+            if self.expect_hazards:
+                self.hazards_detected += 1
+            else:
+                self.violations.append(record)
+                if self.raise_on_violation:
+                    raise OracleViolation(record.describe())
+        elif truth is not None and jmp.target != truth:
+            self.trace_divergences += 1
+
+    # ----------------------------------------------------------- verdicts
+
+    @property
+    def clean(self) -> bool:
+        """True when no stale skip was committed."""
+        return not self.violations
+
+    def assert_clean(self) -> None:
+        """Raise :class:`OracleViolation` summarising any stale skips."""
+        if self.violations:
+            head = self.violations[0].describe()
+            raise OracleViolation(
+                f"{len(self.violations)} stale skip(s) committed; first: {head}"
+            )

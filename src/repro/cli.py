@@ -6,7 +6,11 @@ Subcommands:
 * ``run <experiment-id> [--scale smoke|paper]`` — run one experiment and
   print its paper-style report;
 * ``compare <workload> [--requests N] [--abtb N]`` — quick base-vs-
-  enhanced comparison of one workload.
+  enhanced comparison of one workload;
+* ``chaos`` — seeded fault-injection campaign audited by the stale-target
+  correctness oracle (exit 0 iff the campaign verdict is OK);
+* ``campaign`` — hardened (workload × ABTB) sweep with per-run timeout,
+  retry with backoff, and JSON checkpoint/resume.
 """
 
 from __future__ import annotations
@@ -15,7 +19,8 @@ import argparse
 import sys
 
 from repro import quick_comparison
-from repro.experiments import PAPER, SMOKE, all_experiments, get
+from repro.errors import ReproError
+from repro.experiments import PAPER, SMOKE, RetryPolicy, all_experiments, get, run_campaign
 from repro.workloads import ALL_WORKLOADS
 
 
@@ -52,6 +57,37 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import CampaignConfig, run_campaign as run_chaos_campaign
+
+    cfg = CampaignConfig(
+        seed=args.seed,
+        min_faults=args.min_faults,
+        rate=args.rate,
+        requests=args.requests,
+        use_bloom=not args.no_bloom,
+        software_invalidate=not args.no_bloom,
+        workloads=tuple(args.workloads),
+        abtb_entries=args.abtb,
+    )
+    report = run_chaos_campaign(cfg)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    scale = PAPER if args.scale == "paper" else SMOKE
+    result = run_campaign(
+        args.workloads,
+        scale,
+        abtb_sizes=tuple(args.abtb),
+        checkpoint_path=args.checkpoint,
+        policy=RetryPolicy(timeout_s=args.timeout, max_retries=args.retries),
+    )
+    print(result.render())
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -72,13 +108,55 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--requests", type=int, default=80)
     compare.add_argument("--abtb", type=int, default=256)
     compare.set_defaults(func=_cmd_compare)
+
+    chaos = sub.add_parser("chaos", help="fault-injection campaign with correctness oracle")
+    chaos.add_argument("--seed", type=int, default=2025)
+    chaos.add_argument("--min-faults", type=int, default=1000, help="keep running rounds until this many faults landed")
+    chaos.add_argument("--rate", type=float, default=0.01, help="per-event injection probability")
+    chaos.add_argument("--requests", type=int, default=24, help="requests per instrumented run")
+    chaos.add_argument("--abtb", type=int, default=64)
+    chaos.add_argument(
+        "--workloads",
+        nargs="+",
+        choices=sorted(ALL_WORKLOADS),
+        default=["memcached", "apache"],
+    )
+    chaos.add_argument(
+        "--no-bloom",
+        action="store_true",
+        help="disable the Bloom filter AND the software invalidation contract: "
+        "the campaign then passes only if the §3.4 hazard fires and is detected",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
+
+    campaign = sub.add_parser("campaign", help="hardened (workload x ABTB) sweep")
+    campaign.add_argument(
+        "--workloads",
+        nargs="+",
+        choices=sorted(ALL_WORKLOADS),
+        default=sorted(ALL_WORKLOADS),
+    )
+    campaign.add_argument("--scale", choices=("smoke", "paper"), default="smoke")
+    campaign.add_argument("--abtb", type=int, nargs="+", default=[256])
+    campaign.add_argument("--checkpoint", default=None, help="JSON checkpoint path (resume skips completed pairs)")
+    campaign.add_argument("--timeout", type=float, default=None, help="per-run timeout in seconds")
+    campaign.add_argument("--retries", type=int, default=2, help="retries per pair for transient failures")
+    campaign.set_defaults(func=_cmd_campaign)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Model errors (:class:`ReproError`) surface as a one-line message and
+    exit code 1 rather than a traceback; genuine bugs still raise.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -24,8 +24,13 @@ class LinkError(ReproError):
     """Symbol resolution or relocation failed."""
 
 
-class MemoryError_(ReproError):
+class PageFaultError(ReproError):
     """Page-level memory model violation (bad permissions, unmapped page)."""
+
+
+#: Deprecated alias — the hierarchy used to shadow the ``MemoryError``
+#: builtin; new code should catch :class:`PageFaultError`.
+MemoryError_ = PageFaultError
 
 
 class TraceError(ReproError):
@@ -34,3 +39,16 @@ class TraceError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment was misconfigured or produced inconsistent output."""
+
+
+class ChaosError(ReproError):
+    """The fault-injection harness was misused or hit an internal error."""
+
+
+class OracleViolation(ChaosError):
+    """The correctness oracle observed a committed skip to a stale target.
+
+    With the Bloom filter enabled this must never happen (the paper's
+    Section 3.2 safety argument); raising it means the modelled hardware —
+    or the model itself — is broken.
+    """

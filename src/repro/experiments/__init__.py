@@ -8,19 +8,34 @@ Use the registry to enumerate and run them::
 """
 
 from repro.experiments.registry import Experiment, all_experiments, get, register
-from repro.experiments.runner import RequestSample, RunResult, run_pair, run_workload
+from repro.experiments.runner import (
+    CampaignResult,
+    RequestSample,
+    RetryPolicy,
+    RunResult,
+    pair_key,
+    run_campaign,
+    run_pair,
+    run_workload,
+    summarize_pair,
+)
 from repro.experiments.scale import PAPER, SMOKE, Scale
 
 __all__ = [
+    "CampaignResult",
     "Experiment",
     "PAPER",
     "RequestSample",
+    "RetryPolicy",
     "RunResult",
     "SMOKE",
     "Scale",
     "all_experiments",
     "get",
+    "pair_key",
     "register",
+    "run_campaign",
     "run_pair",
     "run_workload",
+    "summarize_pair",
 ]

@@ -11,13 +11,21 @@ comparison.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+import math
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.core.config import MechanismConfig
 from repro.core.mechanism import TrampolineSkipMechanism
-from repro.errors import ExperimentError
+from repro.errors import ConfigError, ExperimentError
 from repro.trace.engine import LinkMode
 from repro.uarch.counters import PerfCounters
 from repro.uarch.cpu import CPU, CPUConfig
@@ -46,6 +54,11 @@ class RunResult:
     workload: Workload
     cpu: CPU
     mechanism: TrampolineSkipMechanism | None = None
+    #: Begin/end marks that had no partner in the window (0 for a healthy
+    #: trace; counted, not silently dropped).
+    unmatched_marks: int = 0
+    #: Request samples discarded for non-finite or negative cycle deltas.
+    dropped_samples: int = 0
 
     def requests_of(self, class_name: str) -> list[RequestSample]:
         """Samples of one request class."""
@@ -76,6 +89,11 @@ class RunResult:
         samples = self.requests if class_name is None else self.requests_of(class_name)
         out = []
         for r in samples:
+            # A sample with a non-finite or negative cycle delta (clock
+            # skew, a corrupted mark) would poison every percentile
+            # downstream; exclude it rather than propagate it.
+            if not math.isfinite(r.cycles) or r.cycles < 0:
+                continue
             us = timing.cycles_to_microseconds(r.cycles)
             if noise_sigma > 0:
                 rng = np.random.default_rng(np.random.SeedSequence([noise_seed, r.request_id]))
@@ -98,8 +116,14 @@ def run_workload(
     cpu_config: CPUConfig | None = None,
     mode: LinkMode = LinkMode.DYNAMIC,
     label: str | None = None,
+    strict_marks: bool = False,
 ) -> RunResult:
-    """Run startup + warmup, then measure a steady-state window."""
+    """Run startup + warmup, then measure a steady-state window.
+
+    ``strict_marks=True`` turns unmatched begin/end marks in the window
+    into an :class:`ExperimentError`; otherwise they are counted on the
+    result (``unmatched_marks``) and the affected requests excluded.
+    """
     workload = Workload(config, mode)
     cpu = CPU(cpu_config, mechanism)
     cpu.run(workload.startup_trace())
@@ -113,7 +137,7 @@ def run_workload(
     cpu.run(workload.trace(measured_requests, start_id=warmup_requests))
     cpu.finalize()
     window = cpu.counters.delta(snapshot)
-    requests = _pair_marks(cpu, marks_before)
+    requests, unmatched, dropped = _pair_marks(cpu, marks_before, strict=strict_marks)
     return RunResult(
         label or ("enhanced" if mechanism else "base"),
         window,
@@ -121,6 +145,8 @@ def run_workload(
         workload,
         cpu,
         mechanism,
+        unmatched_marks=unmatched,
+        dropped_samples=dropped,
     )
 
 
@@ -133,9 +159,18 @@ def run_pair(
     seed: int | None = None,
 ) -> tuple[RunResult, RunResult]:
     """Base vs enhanced over identical traces of a named workload."""
-    module = ALL_WORKLOADS[workload_name]
+    try:
+        module = ALL_WORKLOADS[workload_name]
+    except KeyError:
+        raise ConfigError(f"unknown workload {workload_name!r}") from None
     warmup = scale.warmup(workload_name)
     measured = scale.measured(workload_name)
+    if warmup < 0:
+        raise ConfigError(f"scale yields negative warmup ({warmup}) for {workload_name}")
+    if measured < 1:
+        raise ConfigError(
+            f"scale yields an empty measurement window ({measured}) for {workload_name}"
+        )
     results = []
     for label in ("base", "enhanced"):
         cfg = module.config() if seed is None else module.config(seed=seed)
@@ -152,20 +187,237 @@ def run_pair(
     return base, enhanced
 
 
-def _pair_marks(cpu: CPU, marks_from: int) -> list[RequestSample]:
-    """Convert begin/end marks into per-request samples."""
+def _pair_marks(
+    cpu: CPU, marks_from: int, strict: bool = False
+) -> tuple[list[RequestSample], int, int]:
+    """Convert begin/end marks into per-request samples.
+
+    Returns ``(samples, unmatched, dropped)``: *unmatched* counts end
+    marks with no open begin plus begins never closed — previously these
+    vanished silently, biasing tail percentiles toward whatever happened
+    to pair up.  ``strict=True`` raises :class:`ExperimentError` on the
+    first unmatched mark instead.  *dropped* counts samples excluded for
+    non-finite or negative deltas.
+    """
     out: list[RequestSample] = []
     open_marks: dict[int, tuple[str, int, float]] = {}
+    unmatched = 0
+    dropped = 0
     for mark in cpu.marks[marks_from:]:
         tag = mark.tag
         if not (isinstance(tag, tuple) and len(tag) == 3):
             continue
         phase, class_name, request_id = tag
         if phase == "begin":
+            if request_id in open_marks:
+                if strict:
+                    raise ExperimentError(
+                        f"duplicated begin mark for request {request_id}"
+                    )
+                unmatched += 1
             open_marks[request_id] = (class_name, mark.instructions, mark.cycles)
-        elif phase == "end" and request_id in open_marks:
+        elif phase == "end":
+            if request_id not in open_marks:
+                if strict:
+                    raise ExperimentError(
+                        f"end mark without begin for request {request_id}"
+                    )
+                unmatched += 1
+                continue
             class_name, instr0, cyc0 = open_marks.pop(request_id)
-            out.append(
-                RequestSample(class_name, request_id, mark.instructions - instr0, mark.cycles - cyc0)
+            d_instr = mark.instructions - instr0
+            d_cycles = mark.cycles - cyc0
+            if d_instr < 0 or not math.isfinite(d_cycles) or d_cycles < 0:
+                if strict:
+                    raise ExperimentError(
+                        f"request {request_id}: non-monotonic counters "
+                        f"(d_instr={d_instr}, d_cycles={d_cycles})"
+                    )
+                dropped += 1
+                continue
+            out.append(RequestSample(class_name, request_id, d_instr, d_cycles))
+    if open_marks:
+        if strict:
+            raise ExperimentError(
+                f"{len(open_marks)} request(s) never ended: "
+                f"{sorted(open_marks)[:5]}"
             )
-    return out
+        unmatched += len(open_marks)
+    return out, unmatched, dropped
+
+
+# --------------------------------------------------------------- campaigns
+#
+# A campaign sweeps (workload × ABTB size) pairs.  Long sweeps die in
+# practice for boring reasons — one hung run, one transient failure — so
+# the campaign runner adds a per-run timeout, bounded retry with
+# exponential backoff for transient ``ExperimentError``s, a JSON
+# checkpoint (written atomically after every completed pair; resume skips
+# completed work), and graceful degradation: a pair that keeps failing is
+# recorded and the sweep moves on.
+
+CHECKPOINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout/retry knobs for one campaign run."""
+
+    timeout_s: float | None = None  # None → no per-run timeout
+    max_retries: int = 2  # retries after the first attempt
+    backoff_base_s: float = 0.25
+    backoff_factor: float = 2.0
+
+    def backoff(self, attempt: int) -> float:
+        """Sleep before retry ``attempt`` (1-based)."""
+        return self.backoff_base_s * (self.backoff_factor ** (attempt - 1))
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of a (possibly resumed, possibly degraded) campaign."""
+
+    completed: dict[str, dict] = field(default_factory=dict)
+    failed: dict[str, str] = field(default_factory=dict)
+    attempts: dict[str, int] = field(default_factory=dict)
+    resumed: int = 0  # pairs skipped because the checkpoint had them
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def render(self) -> str:
+        lines = [
+            f"campaign: {len(self.completed)} pair(s) done "
+            f"({self.resumed} from checkpoint), {len(self.failed)} failed"
+        ]
+        for key, summary in sorted(self.completed.items()):
+            speedup = summary.get("speedup")
+            text = f"{speedup:.4f}x" if isinstance(speedup, float) else "?"
+            lines.append(f"  {key:<42} speedup {text}")
+        for key, reason in sorted(self.failed.items()):
+            lines.append(f"  {key:<42} FAILED: {reason}")
+        return "\n".join(lines)
+
+
+def pair_key(workload: str, abtb_entries: int, scale_name: str) -> str:
+    """Stable checkpoint key for one (workload, config) pair."""
+    return f"{workload}::abtb={abtb_entries}::scale={scale_name}"
+
+
+def summarize_pair(base: RunResult, enhanced: RunResult) -> dict:
+    """JSON-serialisable summary of one base/enhanced pair."""
+    return {
+        "instructions": int(base.counters.instructions),
+        "base_cycles": float(base.counters.cycles),
+        "enhanced_cycles": float(enhanced.counters.cycles),
+        "speedup": (
+            float(base.counters.cycles / enhanced.counters.cycles)
+            if enhanced.counters.cycles
+            else 1.0
+        ),
+        "skip_rate": float(enhanced.skip_rate),
+        "unmatched_marks": base.unmatched_marks + enhanced.unmatched_marks,
+    }
+
+
+def _load_checkpoint(path: Path) -> dict[str, dict]:
+    if not path.exists():
+        return {}
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ExperimentError(f"unreadable checkpoint {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != CHECKPOINT_VERSION:
+        raise ExperimentError(
+            f"checkpoint {path} has unsupported format "
+            f"(expected version {CHECKPOINT_VERSION}); delete it to restart"
+        )
+    completed = payload.get("completed", {})
+    if not isinstance(completed, dict):
+        raise ExperimentError(f"checkpoint {path}: 'completed' is not an object")
+    return completed
+
+
+def _save_checkpoint(path: Path, completed: dict[str, dict]) -> None:
+    """Atomic write: a crash mid-save never corrupts the checkpoint."""
+    payload = {"version": CHECKPOINT_VERSION, "completed": completed}
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    os.replace(tmp, path)
+
+
+def _attempt_with_timeout(fn: Callable[[], object], timeout_s: float | None):
+    """Run ``fn``, raising ExperimentError on timeout.
+
+    Python cannot kill a running thread, so a timed-out attempt's thread
+    is abandoned (daemonised via ``shutdown(wait=False)``) — acceptable
+    for a simulator run, and the reason timeouts should be generous.
+    """
+    if timeout_s is None:
+        return fn()
+    executor = ThreadPoolExecutor(max_workers=1)
+    try:
+        future = executor.submit(fn)
+        try:
+            return future.result(timeout=timeout_s)
+        except FutureTimeoutError:
+            future.cancel()
+            raise ExperimentError(f"run exceeded timeout of {timeout_s:.1f}s") from None
+    finally:
+        executor.shutdown(wait=False)
+
+
+def run_campaign(
+    workloads: Sequence[str],
+    scale,
+    abtb_sizes: Sequence[int] = (256,),
+    checkpoint_path: str | Path | None = None,
+    policy: RetryPolicy = RetryPolicy(),
+    run_fn: Callable[[str, object, int], tuple[RunResult, RunResult]] | None = None,
+    sleep_fn: Callable[[float], None] = time.sleep,
+) -> CampaignResult:
+    """Sweep (workload × ABTB size) with timeout, retry and checkpointing.
+
+    Transient failures (:class:`ExperimentError`, including timeouts) are
+    retried up to ``policy.max_retries`` times with exponential backoff;
+    anything else — a :class:`ConfigError`, a crash in the model — fails
+    the pair immediately.  Either way the campaign continues and reports
+    a partial result.  ``run_fn`` and ``sleep_fn`` exist for tests: the
+    default ``run_fn`` is :func:`run_pair`.
+    """
+    if run_fn is None:
+        run_fn = lambda w, s, n: run_pair(w, s, abtb_entries=n)  # noqa: E731
+    path = Path(checkpoint_path) if checkpoint_path is not None else None
+    completed = _load_checkpoint(path) if path is not None else {}
+    result = CampaignResult(completed=dict(completed))
+
+    for workload in workloads:
+        for abtb in abtb_sizes:
+            key = pair_key(workload, abtb, getattr(scale, "name", str(scale)))
+            if key in completed:
+                result.resumed += 1
+                continue
+            attempt = 0
+            while True:
+                attempt += 1
+                result.attempts[key] = attempt
+                try:
+                    pair = _attempt_with_timeout(
+                        lambda: run_fn(workload, scale, abtb), policy.timeout_s
+                    )
+                except ExperimentError as exc:
+                    if attempt > policy.max_retries:
+                        result.failed[key] = str(exc)
+                        break
+                    sleep_fn(policy.backoff(attempt))
+                    continue
+                except Exception as exc:  # non-transient: fail fast, move on
+                    result.failed[key] = f"{type(exc).__name__}: {exc}"
+                    break
+                base, enhanced = pair
+                result.completed[key] = summarize_pair(base, enhanced)
+                if path is not None:
+                    _save_checkpoint(path, result.completed)
+                break
+    return result

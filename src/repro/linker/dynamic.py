@@ -197,6 +197,46 @@ class LinkedProgram:
         """Number of populated GOT slots."""
         return sum(1 for s in self._got.values() if s.resolved)
 
+    # ------------------------------------------------------------- rewrite
+
+    def rewrite_got(self, caller: str, symbol: str, new_value: int) -> int:
+        """Overwrite a *resolved* GOT slot in place; returns the slot address.
+
+        Models ld.so rewriting a live slot at runtime: a library unloaded
+        and re-loaded at a new base, an ifunc selector changing its answer,
+        or interposition after a ``dlopen``.  The caller is responsible for
+        emitting the matching store event — that store is what the
+        hardware's Bloom filter (or the §3.4 software contract) must see.
+        """
+        slot = self._got.get((caller, symbol))
+        if slot is None:
+            raise LinkError(f"module {caller!r} does not import {symbol!r}")
+        if not slot.resolved:
+            raise LinkError(f"GOT slot {caller!r}:{symbol!r} is not resolved")
+        slot.value = new_value
+        return self.modules[caller].got_slot(symbol)
+
+    def reselect_ifuncs(self, hwcap_level: int) -> list[tuple[str, str, int, int]]:
+        """Re-run every resolved ifunc selector under a new hwcap level.
+
+        Returns the (caller, symbol, got_addr, new_entry) rewrites for
+        slots whose winning variant changed — each is a GOT write the
+        hardware must observe.
+        """
+        self.hwcap_level = hwcap_level
+        rewrites: list[tuple[str, str, int, int]] = []
+        for (caller, symbol), slot in self._got.items():
+            if not slot.resolved:
+                continue
+            definition = self.symbols.lookup(symbol)
+            if definition is None or definition.kind is not SymbolKind.IFUNC:
+                continue
+            _, entry, _ = self._resolve_symbol(symbol)
+            if entry != slot.value:
+                slot.value = entry
+                rewrites.append((caller, symbol, self.modules[caller].got_slot(symbol), entry))
+        return rewrites
+
     # -------------------------------------------------------------- unload
 
     def unload_library(self, name: str) -> list[tuple[str, str, int]]:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import MemoryError_
+from repro.errors import PageFaultError
 from repro.memory.pages import PAGE_SIZE, Frame, Perm, PhysicalMemory, page_of, pages_spanned
 
 
@@ -45,7 +45,7 @@ class AddressSpace:
         """Map fresh anonymous pages (heap, stack, writable data)."""
         for vpn in pages_spanned(base, nbytes):
             if vpn in self._pages:
-                raise MemoryError_(f"{self.name}: page {vpn:#x} already mapped")
+                raise PageFaultError(f"{self.name}: page {vpn:#x} already mapped")
             self._pages[vpn] = Mapping(self.phys.allocate(origin), perm)
 
     def map_shared_frames(self, base: int, frames: list[Frame], perm: Perm, cow: bool) -> None:
@@ -57,7 +57,7 @@ class AddressSpace:
         vpn = page_of(base)
         for offset, frame in enumerate(frames):
             if vpn + offset in self._pages:
-                raise MemoryError_(f"{self.name}: page {vpn + offset:#x} already mapped")
+                raise PageFaultError(f"{self.name}: page {vpn + offset:#x} already mapped")
             self._pages[vpn + offset] = Mapping(self.phys.share(frame), perm, cow=cow)
 
     def unmap(self, base: int, nbytes: int) -> None:
@@ -74,7 +74,7 @@ class AddressSpace:
         try:
             return self._pages[page_of(addr)]
         except KeyError:
-            raise MemoryError_(f"{self.name}: access to unmapped address {addr:#x}") from None
+            raise PageFaultError(f"{self.name}: access to unmapped address {addr:#x}") from None
 
     def is_mapped(self, addr: int) -> bool:
         """Whether ``addr`` falls in a mapped page."""
@@ -84,20 +84,20 @@ class AddressSpace:
         """mprotect: change permissions on a range (must be fully mapped)."""
         for vpn in pages_spanned(base, nbytes):
             if vpn not in self._pages:
-                raise MemoryError_(f"{self.name}: mprotect of unmapped page {vpn:#x}")
+                raise PageFaultError(f"{self.name}: mprotect of unmapped page {vpn:#x}")
             self._pages[vpn].perm = perm
 
     def read(self, addr: int) -> None:
         """Model a read access: checks mapping and permission."""
         mapping = self.mapping_at(addr)
         if not mapping.perm & Perm.R:
-            raise MemoryError_(f"{self.name}: read of non-readable page at {addr:#x}")
+            raise PageFaultError(f"{self.name}: read of non-readable page at {addr:#x}")
 
     def write(self, addr: int) -> None:
         """Model a write: checks permission and takes a CoW fault if needed."""
         mapping = self.mapping_at(addr)
         if not mapping.perm & Perm.W:
-            raise MemoryError_(f"{self.name}: write to non-writable page at {addr:#x}")
+            raise PageFaultError(f"{self.name}: write to non-writable page at {addr:#x}")
         if mapping.cow and mapping.frame.refcount > 1:
             mapping.frame = self.phys.copy_on_write(mapping.frame)
             mapping.cow = False
@@ -110,7 +110,7 @@ class AddressSpace:
         """Model an instruction fetch: checks the execute permission."""
         mapping = self.mapping_at(addr)
         if not mapping.perm & Perm.X:
-            raise MemoryError_(f"{self.name}: fetch from non-executable page at {addr:#x}")
+            raise PageFaultError(f"{self.name}: fetch from non-executable page at {addr:#x}")
 
     # ----------------------------------------------------------------- fork
 

@@ -1,0 +1,78 @@
+"""Trace-stream validation.
+
+The CPU model trusts its event stream; a corrupted stream (truncated,
+duplicated or malformed events) must be *detected* — raising
+:class:`~repro.errors.TraceError` — rather than silently mis-executed.
+The chaos harness routes every instrumented stream through
+:func:`validated`, so an injected corruption fault is guaranteed to
+surface as an error instead of skewed counters.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import TraceError
+from repro.isa.events import TraceEvent
+from repro.isa.kinds import BRANCH_KINDS, EventKind
+
+_MARK_PHASES = frozenset({"begin", "end"})
+
+
+def validate_event(ev: TraceEvent, index: int) -> None:
+    """Check one event's structural sanity; raise :class:`TraceError`.
+
+    Catches the corruptions a real trace capture produces: clobbered kind
+    discriminators, negative sizes/addresses, branches without targets and
+    malformed request marks.
+    """
+    if not isinstance(ev, TraceEvent):
+        raise TraceError(f"event {index}: not a TraceEvent: {ev!r}")
+    try:
+        kind = EventKind(ev.kind)
+    except ValueError:
+        raise TraceError(f"event {index}: invalid event kind {ev.kind!r}") from None
+    if ev.n_instr < 0 or ev.nbytes < 0:
+        raise TraceError(
+            f"event {index} ({kind.name}): negative size "
+            f"(n_instr={ev.n_instr}, nbytes={ev.nbytes})"
+        )
+    if ev.pc < 0 or ev.target < 0 or ev.mem_addr < 0:
+        raise TraceError(f"event {index} ({kind.name}): negative address")
+    if kind is EventKind.BLOCK and ev.n_instr < 1:
+        raise TraceError(f"event {index}: BLOCK with no instructions")
+    if kind in BRANCH_KINDS and ev.target == 0:
+        raise TraceError(f"event {index}: {kind.name} without a target")
+    if kind is EventKind.MARK and isinstance(ev.tag, tuple) and len(ev.tag) == 3:
+        if ev.tag[0] not in _MARK_PHASES:
+            raise TraceError(f"event {index}: malformed mark phase {ev.tag[0]!r}")
+
+
+def validated(events: Iterable[TraceEvent]) -> Iterator[TraceEvent]:
+    """Yield ``events`` unchanged, raising :class:`TraceError` on corruption.
+
+    Beyond per-event checks this detects stream-level damage: a stream
+    that ends on a dangling ``CALL_DIRECT`` (truncation) and duplicated
+    ``begin`` marks / ``end`` marks with no ``begin`` (duplication).
+    """
+    open_requests: set[object] = set()
+    last_kind: EventKind | None = None
+    index = 0
+    for ev in events:
+        validate_event(ev, index)
+        kind = EventKind(ev.kind)
+        if kind is EventKind.MARK and isinstance(ev.tag, tuple) and len(ev.tag) == 3:
+            phase, _name, request_id = ev.tag
+            if phase == "begin":
+                if request_id in open_requests:
+                    raise TraceError(f"event {index}: duplicated begin mark for request {request_id}")
+                open_requests.add(request_id)
+            elif phase == "end":
+                if request_id not in open_requests:
+                    raise TraceError(f"event {index}: end mark without begin for request {request_id}")
+                open_requests.discard(request_id)
+        yield ev
+        last_kind = kind
+        index += 1
+    if last_kind is EventKind.CALL_DIRECT:
+        raise TraceError(f"truncated stream: ends on a dangling call at event {index - 1}")

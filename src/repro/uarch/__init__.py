@@ -3,7 +3,7 @@
 from repro.uarch.btb import BTB
 from repro.uarch.cache import SetAssociativeCache
 from repro.uarch.counters import PerfCounters
-from repro.uarch.cpu import CPU, CPUConfig, Mark
+from repro.uarch.cpu import CPU, CPUConfig, CPUHooks, Mark
 from repro.uarch.multicore import DualCoreSystem
 from repro.uarch.predictor import GsharePredictor, ReturnAddressStack
 from repro.uarch.timing import TimingModel
@@ -13,6 +13,7 @@ __all__ = [
     "BTB",
     "CPU",
     "CPUConfig",
+    "CPUHooks",
     "DualCoreSystem",
     "GsharePredictor",
     "Mark",

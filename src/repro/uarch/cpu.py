@@ -90,6 +90,21 @@ class Mark:
     cycles: float
 
 
+class CPUHooks:
+    """Observation points used by the chaos/fault-injection harness.
+
+    Subclass (or duck-type) and override what you need; the default
+    implementations are no-ops so hooks stay cheap to mix in.
+    """
+
+    def on_skip(self, call: TraceEvent, jmp: TraceEvent, target: int) -> None:
+        """A trampoline skip committed: the call at ``call.pc`` went
+        straight to ``target`` and the stub (``jmp``) was never fetched."""
+
+    def on_store(self, addr: int) -> None:
+        """A store to ``addr`` retired on this core."""
+
+
 class CPU:
     """One simulated core, optionally equipped with the skip mechanism."""
 
@@ -97,10 +112,12 @@ class CPU:
         self,
         config: CPUConfig | None = None,
         mechanism: TrampolineSkipMechanism | None = None,
+        hooks: CPUHooks | None = None,
     ) -> None:
         self.config = config if config is not None else CPUConfig()
         cfg = self.config
         self.mechanism = mechanism
+        self.hooks = hooks
         self.l1i = SetAssociativeCache("L1I", cfg.l1i_bytes, cfg.line_bytes, cfg.l1i_ways)
         self.l1d = SetAssociativeCache("L1D", cfg.l1d_bytes, cfg.line_bytes, cfg.l1d_ways)
         self.l2 = SetAssociativeCache("L2", cfg.l2_bytes, cfg.line_bytes, cfg.l2_ways)
@@ -228,6 +245,8 @@ class CPU:
             elif kind == K.STORE:
                 self._fetch(ev)
                 self._data_access(ev.mem_addr, is_store=True)
+                if self.hooks is not None:
+                    self.hooks.on_store(ev.mem_addr)
                 if self.mechanism is not None:
                     self.mechanism.snoop_store(ev.mem_addr)
                     if ev.tag == "got-store" and not self.mechanism.config.use_bloom:
@@ -372,6 +391,8 @@ class CPU:
                 if mapped != jmp.target:
                     mech.note_unsafe_skip()
                 c.trampolines_skipped += 1
+                if self.hooks is not None:
+                    self.hooks.on_skip(call, jmp, mapped)
                 return
 
             # The modified update logic always installs the ABTB-mapped

@@ -14,12 +14,18 @@ performed by one core safely flushes the sibling's ABTB.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro.errors import ConfigError
 from repro.isa.events import TraceEvent
 from repro.isa.kinds import EventKind
 from repro.uarch.cpu import CPU, CPUConfig
+
+#: Decides whether a store retired by ``src_core`` is forwarded to the
+#: sibling's mechanism as a coherence invalidation.  Returning False drops
+#: the invalidation — the fault-injection harness uses this to model lossy
+#: or broken coherence delivery.
+CoherenceFilter = Callable[[int, TraceEvent], bool]
 
 
 class DualCoreSystem:
@@ -34,6 +40,7 @@ class DualCoreSystem:
         self,
         cpus: tuple[CPU, CPU],
         slice_events: int = 256,
+        coherence_filter: CoherenceFilter | None = None,
     ) -> None:
         if len(cpus) != 2:
             raise ConfigError("DualCoreSystem models exactly two cores")
@@ -41,19 +48,23 @@ class DualCoreSystem:
             raise ConfigError("slice_events must be positive")
         self.cpus = cpus
         self.slice_events = slice_events
+        self.coherence_filter = coherence_filter
         #: Coherence invalidations delivered to each core.
         self.invalidations_delivered = [0, 0]
+        #: Invalidations the filter suppressed, per destination core.
+        self.invalidations_dropped = [0, 0]
 
     @staticmethod
     def with_shared_l2(
         config: CPUConfig | None = None,
         mechanisms=(None, None),
+        coherence_filter: CoherenceFilter | None = None,
     ) -> "DualCoreSystem":
         """Construct two cores sharing one L2 (like the paper's E5450)."""
         cpu0 = CPU(config, mechanisms[0])
         cpu1 = CPU(config, mechanisms[1])
         cpu1.l2 = cpu0.l2  # share the second-level cache
-        return DualCoreSystem((cpu0, cpu1))
+        return DualCoreSystem((cpu0, cpu1), coherence_filter=coherence_filter)
 
     def run(self, stream0: Iterable[TraceEvent], stream1: Iterable[TraceEvent]) -> None:
         """Interleave the two streams until both are exhausted."""
@@ -81,6 +92,9 @@ class DualCoreSystem:
             return
         for ev in chunk:
             if ev.kind == EventKind.STORE:
+                if self.coherence_filter is not None and not self.coherence_filter(core, ev):
+                    self.invalidations_dropped[1 - core] += 1
+                    continue
                 self.invalidations_delivered[1 - core] += 1
                 other.mechanism.coherence_invalidate(ev.mem_addr)
 

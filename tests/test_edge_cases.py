@@ -92,20 +92,22 @@ class TestCpuConfig:
 
 
 class TestMarkPairing:
-    def test_unmatched_end_mark_ignored(self):
+    def test_unmatched_end_mark_counted(self):
         from repro.experiments.runner import _pair_marks
 
         cpu = CPU()
         cpu.run([mark(("end", "X", 5)), mark(("begin", "Y", 6)), block(0x1000, 4), mark(("end", "Y", 6))])
-        samples = _pair_marks(cpu, 0)
+        samples, unmatched, dropped = _pair_marks(cpu, 0)
         assert len(samples) == 1 and samples[0].class_name == "Y"
+        assert unmatched == 1 and dropped == 0
 
     def test_non_request_marks_skipped(self):
         from repro.experiments.runner import _pair_marks
 
         cpu = CPU()
         cpu.run([mark("freeform"), mark(("begin", "Z", 1)), mark(("end", "Z", 1))])
-        assert len(_pair_marks(cpu, 0)) == 1
+        samples, unmatched, _ = _pair_marks(cpu, 0)
+        assert len(samples) == 1 and unmatched == 0
 
 
 class TestPreforkTrace:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import MemoryError_
+from repro.errors import PageFaultError
 from repro.memory import (
     PAGE_SIZE,
     AddressSpace,
@@ -88,12 +88,12 @@ class TestAddressSpace:
         phys = PhysicalMemory()
         space = AddressSpace(phys)
         space.map_private(0x10000, PAGE_SIZE, Perm.RW)
-        with pytest.raises(MemoryError_):
+        with pytest.raises(PageFaultError):
             space.map_private(0x10000, PAGE_SIZE, Perm.RW)
 
     def test_unmapped_access_raises(self):
         space = AddressSpace(PhysicalMemory())
-        with pytest.raises(MemoryError_):
+        with pytest.raises(PageFaultError):
             space.read(0xDEAD000)
 
     def test_permission_enforcement(self):
@@ -101,7 +101,7 @@ class TestAddressSpace:
         space = AddressSpace(phys)
         space.map_private(0x10000, PAGE_SIZE, Perm.RX)
         space.fetch(0x10000)
-        with pytest.raises(MemoryError_):
+        with pytest.raises(PageFaultError):
             space.write(0x10000)
 
     def test_mprotect_changes_permissions(self):
@@ -113,7 +113,7 @@ class TestAddressSpace:
 
     def test_mprotect_unmapped_raises(self):
         space = AddressSpace(PhysicalMemory())
-        with pytest.raises(MemoryError_):
+        with pytest.raises(PageFaultError):
             space.protect(0x10000, PAGE_SIZE, Perm.RW)
 
     def test_unmap_releases_frames(self):
@@ -128,7 +128,7 @@ class TestAddressSpace:
         phys = PhysicalMemory()
         space = AddressSpace(phys)
         space.map_private(0x10000, PAGE_SIZE, Perm.RW)
-        with pytest.raises(MemoryError_):
+        with pytest.raises(PageFaultError):
             space.fetch(0x10000)
 
 
@@ -215,3 +215,16 @@ class TestCowReport:
         # ~280 pages, 500 processes -> ~0.5 GB, the paper's estimate.
         cost = patch_cost_bytes(280, 500)
         assert 0.4e9 < cost < 0.7e9
+
+
+class TestErrorTaxonomy:
+    def test_deprecated_alias_still_works(self):
+        from repro import errors
+
+        assert errors.MemoryError_ is PageFaultError
+
+    def test_chaos_errors_are_repro_errors(self):
+        from repro.errors import ChaosError, OracleViolation, ReproError
+
+        assert issubclass(ChaosError, ReproError)
+        assert issubclass(OracleViolation, ChaosError)
