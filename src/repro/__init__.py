@@ -40,11 +40,14 @@ def quick_comparison(
     n_requests: int = 50,
     abtb_entries: int = 256,
     seed: int | None = None,
+    obs=None,
 ):
     """Run one workload on the base and enhanced CPUs and compare.
 
     Returns a dict with the two counter bundles, the trampoline skip rate
-    and the overall speedup — the package's one-call demo.
+    and the overall speedup — the package's one-call demo.  Pass an
+    :class:`repro.obs.Observability` as ``obs`` to capture traces,
+    metric series and hot-trampoline profiles from both runs.
     """
     module = ALL_WORKLOADS[workload]
     results = {}
@@ -54,8 +57,15 @@ def quick_comparison(
     ):
         cfg = module.config() if seed is None else module.config(seed=seed)
         wl = Workload(cfg)
-        cpu = CPU(mechanism=mech)
-        cpu.run(wl.trace(n_requests))
+        hooks = obs.hooks() if obs is not None else None
+        cpu = CPU(mechanism=mech, hooks=hooks)
+        stream = wl.trace(n_requests)
+        if obs is not None:
+            obs.attach_workload(wl)
+            stream = obs.instrument(stream, cpu, label)
+        cpu.run(stream)
+        if obs is not None:
+            obs.finish_run(cpu, label)
         results[label] = cpu.finalize()
     base, enh = results["base"], results["enhanced"]
     skipped = enh.trampolines_skipped

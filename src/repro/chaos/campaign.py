@@ -116,8 +116,13 @@ def _collect(
     return result
 
 
-def run_chaos(cfg: ChaosRunConfig) -> ChaosRunResult:
-    """One seeded, instrumented run (single- or dual-core)."""
+def run_chaos(cfg: ChaosRunConfig, obs=None) -> ChaosRunResult:
+    """One seeded, instrumented run (single- or dual-core).
+
+    ``obs`` is an optional :class:`repro.obs.Observability` session:
+    fault landings become trace instants and per-fault counters, and the
+    counter sampler (when configured) rides each core's event stream.
+    """
     try:
         module = ALL_WORKLOADS[cfg.workload]
     except KeyError:
@@ -127,26 +132,35 @@ def run_chaos(cfg: ChaosRunConfig) -> ChaosRunResult:
     oracle = CorrectnessOracle(workload.program, expect_hazards=expect_hazards)
     faults = default_faults(software_invalidate=cfg.software_invalidate)
     synth = SyntheticSlots()
+    tracer = obs.tracer if obs is not None else None
+    metrics = obs.metrics if obs is not None else None
+    if obs is not None:
+        obs.attach_workload(workload)
 
     if not cfg.dual_core:
+        label = f"{cfg.workload}/single/seed={cfg.seed}"
         mech = _mechanism(cfg)
-        cpu = CPU(mechanism=mech, hooks=oracle)
+        hooks = obs.hooks(oracle) if obs is not None else oracle
+        cpu = CPU(mechanism=mech, hooks=hooks)
         cpu.run(workload.startup_trace())
         ctx = ChaosContext(workload.program, oracle, mech, synth)
-        injector = Injector(faults, ctx, seed=cfg.seed, rate=cfg.rate)
-        cpu.run(injector.wrap(workload.trace(cfg.requests)))
-        counters = [cpu.finalize()]
-        return _collect(
-            f"{cfg.workload}/single/seed={cfg.seed}",
-            [injector],
-            oracle,
-            [mech],
-            counters,
+        injector = Injector(
+            faults, ctx, seed=cfg.seed, rate=cfg.rate, tracer=tracer, metrics=metrics
         )
+        stream = injector.wrap(workload.trace(cfg.requests))
+        if obs is not None:
+            stream = obs.instrument(stream, cpu, label)
+        cpu.run(stream)
+        counters = [cpu.finalize()]
+        if obs is not None:
+            obs.finish_run(cpu, label)
+        return _collect(label, [injector], oracle, [mech], counters)
 
+    label = f"{cfg.workload}/dual/seed={cfg.seed}"
     mech0, mech1 = _mechanism(cfg), _mechanism(cfg)
-    cpu0 = CPU(mechanism=mech0, hooks=oracle)
-    cpu1 = CPU(mechanism=mech1, hooks=oracle)
+    hooks = obs.hooks(oracle) if obs is not None else oracle
+    cpu0 = CPU(mechanism=mech0, hooks=hooks)
+    cpu1 = CPU(mechanism=mech1, hooks=hooks)
     lossy = LossyCoherence(oracle, drop_prob=cfg.drop_prob, seed=cfg.seed + 1)
     system = DualCoreSystem(
         (cpu0, cpu1), slice_events=cfg.slice_events, coherence_filter=lossy
@@ -154,23 +168,32 @@ def run_chaos(cfg: ChaosRunConfig) -> ChaosRunResult:
     cpu0.run(workload.startup_trace())
     ctx0 = ChaosContext(workload.program, oracle, mech0, synth)
     ctx1 = ChaosContext(workload.program, oracle, mech1, synth)
-    inj0 = Injector(faults, ctx0, seed=cfg.seed, rate=cfg.rate)
+    inj0 = Injector(
+        faults, ctx0, seed=cfg.seed, rate=cfg.rate, tracer=tracer, metrics=metrics
+    )
     inj1 = Injector(
         default_faults(software_invalidate=cfg.software_invalidate),
         ctx1,
         seed=cfg.seed + 7919,
         rate=cfg.rate,
+        tracer=tracer,
+        metrics=metrics,
     )
     # The two streams are two threads of one process: they share the
     # program image and its live GOT, which is exactly what makes the
     # cross-core invalidation path load-bearing.
-    system.run(
-        inj0.wrap(workload.trace(cfg.requests, start_id=0)),
-        inj1.wrap(workload.trace(cfg.requests, start_id=100_000)),
-    )
+    stream0 = inj0.wrap(workload.trace(cfg.requests, start_id=0))
+    stream1 = inj1.wrap(workload.trace(cfg.requests, start_id=100_000))
+    if obs is not None:
+        stream0 = obs.instrument(stream0, cpu0, f"{label}/core0")
+        stream1 = obs.instrument(stream1, cpu1, f"{label}/core1")
+    system.run(stream0, stream1)
     counters = list(system.finalize())
+    if obs is not None:
+        obs.finish_run(cpu0, f"{label}/core0")
+        obs.finish_run(cpu1, f"{label}/core1")
     return _collect(
-        f"{cfg.workload}/dual/seed={cfg.seed}",
+        label,
         [inj0, inj1],
         oracle,
         [mech0, mech1],
@@ -297,7 +320,7 @@ class CampaignReport:
         return "\n".join(lines)
 
 
-def run_campaign(cfg: CampaignConfig = CampaignConfig()) -> CampaignReport:
+def run_campaign(cfg: CampaignConfig = CampaignConfig(), obs=None) -> CampaignReport:
     """Run seeded rounds (cycling workloads, one dual-core round per
     cycle) until at least ``min_faults`` injections landed."""
     plan: list[tuple[str, bool]] = [(w, False) for w in cfg.workloads]
@@ -313,7 +336,7 @@ def run_campaign(cfg: CampaignConfig = CampaignConfig()) -> CampaignReport:
             )
         workload, dual = plan[rounds % len(plan)]
         run = run_chaos(
-            ChaosRunConfig(
+            cfg=ChaosRunConfig(
                 workload=workload,
                 seed=cfg.seed + rounds,
                 requests=cfg.requests,
@@ -323,7 +346,8 @@ def run_campaign(cfg: CampaignConfig = CampaignConfig()) -> CampaignReport:
                 dual_core=dual,
                 abtb_entries=cfg.abtb_entries,
                 bloom_bits=cfg.bloom_bits,
-            )
+            ),
+            obs=obs,
         )
         runs.append(run)
         total += run.injected

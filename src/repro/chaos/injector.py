@@ -72,6 +72,8 @@ class Injector:
         rate: float = 0.0,
         at: Sequence[tuple[int, Fault]] = (),
         validate: bool = True,
+        tracer=None,
+        metrics=None,
     ) -> None:
         if rate < 0 or rate >= 1:
             raise ChaosError(f"injection rate must be in [0, 1), got {rate}")
@@ -81,6 +83,12 @@ class Injector:
         self.ctx = ctx
         self.rate = rate
         self.validate = validate
+        #: Optional :class:`repro.obs.tracer.Tracer`: each fault landing
+        #: becomes an instant event (what landed, where in the stream).
+        self.tracer = tracer
+        #: Optional :class:`repro.obs.metrics.MetricsRegistry`: per-fault
+        #: landing counters (``chaos.faults.<name>``).
+        self.metrics = metrics
         self._rng = np.random.default_rng(seed)
         self._scheduled = sorted(at, key=lambda pair: pair[0])
         self.index = 0
@@ -120,4 +128,15 @@ class Injector:
             self.events_spliced += len(spliced)
             self.fault_counts[fault.name] = self.fault_counts.get(fault.name, 0) + 1
             self.records.append(InjectionRecord(self.index, fault.name, len(spliced)))
+            if self.tracer is not None:
+                self.tracer.instant(
+                    f"fault:{fault.name}",
+                    category="chaos",
+                    fault=fault.name,
+                    stream_index=self.index,
+                    events_spliced=len(spliced),
+                )
+            if self.metrics is not None:
+                self.metrics.counter(f"chaos.faults.{fault.name}").inc()
+                self.metrics.counter("chaos.faults.total").inc()
         return spliced

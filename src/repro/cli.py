@@ -2,30 +2,57 @@
 
 Subcommands:
 
-* ``list`` — enumerate the registered experiments;
+* ``list`` — enumerate the registered experiments (``--json`` for tools);
 * ``run <experiment-id> [--scale smoke|paper]`` — run one experiment and
   print its paper-style report;
 * ``compare <workload> [--requests N] [--abtb N]`` — quick base-vs-
   enhanced comparison of one workload;
+* ``profile <workload>`` — enhanced-config run with the hot-trampoline
+  profiler: top-N call-site table plus a Chrome/Perfetto trace;
 * ``chaos`` — seeded fault-injection campaign audited by the stale-target
   correctness oracle (exit 0 iff the campaign verdict is OK);
 * ``campaign`` — hardened (workload × ABTB) sweep with per-run timeout,
   retry with backoff, and JSON checkpoint/resume.
+
+``run``, ``compare``, ``profile``, ``chaos`` and ``campaign`` all accept
+the observability flags ``--trace-out``, ``--metrics-out`` and
+``--sample-every`` (see ``docs/OBSERVABILITY.md``).  ``run`` records
+per-experiment spans and shape-check counters; the simulator-level
+commands additionally capture linker/engine/chaos instants, perf-counter
+time series, and reconstructed request spans on the simulated clock.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro import quick_comparison
+from repro import __version__, quick_comparison
 from repro.errors import ReproError
 from repro.experiments import PAPER, SMOKE, RetryPolicy, all_experiments, get, run_campaign
+from repro.obs import Observability
 from repro.workloads import ALL_WORKLOADS
 
 
-def _cmd_list(_args: argparse.Namespace) -> int:
+def _report_exports(obs: Observability | None) -> None:
+    """Print where observability artefacts landed (stderr, so stdout
+    stays parseable)."""
+    if obs is None:
+        return
+    for path in obs.export():
+        print(f"observability: wrote {path}", file=sys.stderr)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
     experiments = all_experiments()
+    if args.json:
+        payload = {
+            eid: {"paper_ref": exp.paper_ref, "description": exp.description}
+            for eid, exp in sorted(experiments.items())
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
     width = max(len(eid) for eid in experiments)
     for eid, exp in sorted(experiments.items()):
         print(f"{eid:<{width}}  {exp.paper_ref:<18}  {exp.description}")
@@ -35,17 +62,28 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     scale = PAPER if args.scale == "paper" else SMOKE
     ids = sorted(all_experiments()) if args.experiment == "all" else [args.experiment]
+    obs = Observability.from_flags(args)
     ok = True
     for eid in ids:
-        report = get(eid).run(scale)
+        if obs is not None and obs.tracer is not None:
+            with obs.tracer.span(f"experiment {eid}", category="experiment"):
+                report = get(eid).run(scale)
+        else:
+            report = get(eid).run(scale)
         print(report.render())
         print()
-        ok = ok and report.all_shapes_hold
+        held = report.all_shapes_hold
+        if obs is not None and obs.metrics is not None:
+            key = "experiments.shapes_held" if held else "experiments.shapes_failed"
+            obs.metrics.counter(key).inc()
+        ok = ok and held
+    _report_exports(obs)
     return 0 if ok else 1
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    result = quick_comparison(args.workload, args.requests, args.abtb)
+    obs = Observability.from_flags(args)
+    result = quick_comparison(args.workload, args.requests, args.abtb, obs=obs)
     base, enh = result["base"], result["enhanced"]
     print(f"workload  : {args.workload}")
     print(f"requests  : {args.requests}   ABTB entries: {args.abtb}")
@@ -54,6 +92,40 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     print(f"{'counter (PKI)':<24}{'base':>10}{'enhanced':>10}")
     for metric, value in base.table4_row().items():
         print(f"{metric:<24}{value:>10.3f}{enh.table4_row()[metric]:>10.3f}")
+    _report_exports(obs)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.core import MechanismConfig, TrampolineSkipMechanism
+    from repro.uarch import CPU
+    from repro.workloads import Workload
+
+    trace_out = args.trace_out or f"{args.workload}.profile.trace.json"
+    obs = Observability(
+        trace_out=trace_out,
+        metrics_out=args.metrics_out,
+        sample_every=args.sample_every,
+        profile=True,
+    )
+    cfg = ALL_WORKLOADS[args.workload].config()
+    workload = Workload(cfg)
+    obs.attach_workload(workload)
+    mechanism = TrampolineSkipMechanism(MechanismConfig(abtb_entries=args.abtb))
+    cpu = CPU(mechanism=mechanism, hooks=obs.hooks())
+    stream = obs.instrument(workload.trace(args.requests), cpu, args.workload)
+    cpu.run(stream)
+    obs.finish_run(cpu, args.workload)
+    counters = cpu.finalize()
+
+    print(f"workload  : {args.workload}   requests: {args.requests}   "
+          f"ABTB entries: {args.abtb}")
+    print()
+    print(obs.profiler.table(top=args.top).render())
+    print()
+    for line in obs.profiler.summary_lines(counters):
+        print(line)
+    _report_exports(obs)
     return 0
 
 
@@ -70,22 +142,53 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         workloads=tuple(args.workloads),
         abtb_entries=args.abtb,
     )
-    report = run_chaos_campaign(cfg)
+    obs = Observability.from_flags(args)
+    report = run_chaos_campaign(cfg, obs=obs)
     print(report.render())
+    _report_exports(obs)
     return 0 if report.ok else 1
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     scale = PAPER if args.scale == "paper" else SMOKE
+    obs = Observability.from_flags(args)
     result = run_campaign(
         args.workloads,
         scale,
         abtb_sizes=tuple(args.abtb),
         checkpoint_path=args.checkpoint,
         policy=RetryPolicy(timeout_s=args.timeout, max_retries=args.retries),
+        obs=obs,
     )
     print(result.render())
+    _report_exports(obs)
     return 0 if result.ok else 1
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser, sample_default: int = 0) -> None:
+    """The shared observability flag group (off by default: all three
+    unset keeps the simulator on its null-sink fast path)."""
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace-event JSON (open in Perfetto / chrome://tracing)",
+    )
+    group.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write metric series (JSON lines, or Prometheus text if PATH ends in .prom)",
+    )
+    group.add_argument(
+        "--sample-every",
+        type=int,
+        default=sample_default,
+        metavar="N",
+        help="snapshot perf-counter deltas every N instructions (0 disables sampling)"
+        + (f" [default: {sample_default}]" if sample_default else ""),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -94,20 +197,38 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'Architectural Support for Dynamic Linking' (ASPLOS 2015)",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list registered experiments").set_defaults(func=_cmd_list)
+    list_p = sub.add_parser("list", help="list registered experiments")
+    list_p.add_argument("--json", action="store_true", help="machine-readable output")
+    list_p.set_defaults(func=_cmd_list)
 
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment", help="experiment id (see 'list'), or 'all'")
     run.add_argument("--scale", choices=("smoke", "paper"), default="smoke")
+    _add_obs_flags(run)
     run.set_defaults(func=_cmd_run)
 
     compare = sub.add_parser("compare", help="base vs enhanced on one workload")
     compare.add_argument("workload", choices=sorted(ALL_WORKLOADS))
     compare.add_argument("--requests", type=int, default=80)
     compare.add_argument("--abtb", type=int, default=256)
+    _add_obs_flags(compare)
     compare.set_defaults(func=_cmd_compare)
+
+    profile = sub.add_parser(
+        "profile",
+        help="hot-trampoline profile of one workload (enhanced config)",
+    )
+    profile.add_argument("workload", choices=sorted(ALL_WORKLOADS))
+    profile.add_argument("--requests", type=int, default=80)
+    profile.add_argument("--abtb", type=int, default=256)
+    profile.add_argument("--top", type=int, default=10, help="call sites to show")
+    _add_obs_flags(profile, sample_default=2000)
+    profile.set_defaults(func=_cmd_profile)
 
     chaos = sub.add_parser("chaos", help="fault-injection campaign with correctness oracle")
     chaos.add_argument("--seed", type=int, default=2025)
@@ -127,6 +248,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the Bloom filter AND the software invalidation contract: "
         "the campaign then passes only if the §3.4 hazard fires and is detected",
     )
+    _add_obs_flags(chaos)
     chaos.set_defaults(func=_cmd_chaos)
 
     campaign = sub.add_parser("campaign", help="hardened (workload x ABTB) sweep")
@@ -141,6 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--checkpoint", default=None, help="JSON checkpoint path (resume skips completed pairs)")
     campaign.add_argument("--timeout", type=float, default=None, help="per-run timeout in seconds")
     campaign.add_argument("--retries", type=int, default=2, help="retries per pair for transient failures")
+    _add_obs_flags(campaign)
     campaign.set_defaults(func=_cmd_campaign)
     return parser
 

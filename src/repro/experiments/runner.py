@@ -117,25 +117,47 @@ def run_workload(
     mode: LinkMode = LinkMode.DYNAMIC,
     label: str | None = None,
     strict_marks: bool = False,
+    obs=None,
+    obs_label: str | None = None,
 ) -> RunResult:
     """Run startup + warmup, then measure a steady-state window.
 
     ``strict_marks=True`` turns unmatched begin/end marks in the window
     into an :class:`ExperimentError`; otherwise they are counted on the
     result (``unmatched_marks``) and the affected requests excluded.
+
+    ``obs`` is an optional :class:`repro.obs.Observability` session: the
+    profiler hooks onto the CPU, the counter sampler rides every phase of
+    the run (startup included — that is where the ABTB warm-up transient
+    lives), and request windows become trace spans.
     """
+    label = label or ("enhanced" if mechanism else "base")
+    obs_label = obs_label or label
     workload = Workload(config, mode)
-    cpu = CPU(cpu_config, mechanism)
-    cpu.run(workload.startup_trace())
+    hooks = obs.hooks() if obs is not None else None
+    cpu = CPU(cpu_config, mechanism, hooks=hooks)
+    if obs is not None:
+        obs.attach_workload(workload)
+        cpu.run(obs.instrument(workload.startup_trace(), cpu, obs_label))
+    else:
+        cpu.run(workload.startup_trace())
     workload.reset_usage_stats()  # Table 3 / Fig 4 cover organic execution
     if warmup_requests:
-        cpu.run(workload.trace(warmup_requests, include_marks=False))
+        stream = workload.trace(warmup_requests, include_marks=False)
+        if obs is not None:
+            stream = obs.instrument(stream, cpu, obs_label)
+        cpu.run(stream)
     cpu.finalize()
     snapshot = cpu.counters.copy()
     marks_before = len(cpu.marks)
 
-    cpu.run(workload.trace(measured_requests, start_id=warmup_requests))
+    stream = workload.trace(measured_requests, start_id=warmup_requests)
+    if obs is not None:
+        stream = obs.instrument(stream, cpu, obs_label)
+    cpu.run(stream)
     cpu.finalize()
+    if obs is not None:
+        obs.finish_run(cpu, obs_label, marks_from=marks_before)
     window = cpu.counters.delta(snapshot)
     requests, unmatched, dropped = _pair_marks(cpu, marks_before, strict=strict_marks)
     return RunResult(
@@ -157,6 +179,7 @@ def run_pair(
     cpu_config: CPUConfig | None = None,
     mechanism_config: MechanismConfig | None = None,
     seed: int | None = None,
+    obs=None,
 ) -> tuple[RunResult, RunResult]:
     """Base vs enhanced over identical traces of a named workload."""
     try:
@@ -178,8 +201,12 @@ def run_pair(
         if label == "enhanced":
             mcfg = mechanism_config or MechanismConfig(abtb_entries=abtb_entries)
             mech = TrampolineSkipMechanism(mcfg)
+        obs_label = f"{workload_name}/abtb={abtb_entries}/{label}" if obs is not None else None
         results.append(
-            run_workload(cfg, mech, warmup, measured, cpu_config, label=label)
+            run_workload(
+                cfg, mech, warmup, measured, cpu_config,
+                label=label, obs=obs, obs_label=obs_label,
+            )
         )
     base, enhanced = results
     if base.counters.instructions == 0:
@@ -376,6 +403,7 @@ def run_campaign(
     policy: RetryPolicy = RetryPolicy(),
     run_fn: Callable[[str, object, int], tuple[RunResult, RunResult]] | None = None,
     sleep_fn: Callable[[float], None] = time.sleep,
+    obs=None,
 ) -> CampaignResult:
     """Sweep (workload × ABTB size) with timeout, retry and checkpointing.
 
@@ -385,9 +413,15 @@ def run_campaign(
     the pair immediately.  Either way the campaign continues and reports
     a partial result.  ``run_fn`` and ``sleep_fn`` exist for tests: the
     default ``run_fn`` is :func:`run_pair`.
+
+    With an ``obs`` session, each pair attempt runs under a host-clock
+    trace span and the sweep's progress lands in counters
+    (``campaign.pairs_completed`` / ``campaign.pairs_failed``) plus a
+    per-pair speedup series — deep CPU-level sampling is wired through
+    :func:`run_pair` when ``run_fn`` is the default.
     """
     if run_fn is None:
-        run_fn = lambda w, s, n: run_pair(w, s, abtb_entries=n)  # noqa: E731
+        run_fn = lambda w, s, n: run_pair(w, s, abtb_entries=n, obs=obs)  # noqa: E731
     path = Path(checkpoint_path) if checkpoint_path is not None else None
     completed = _load_checkpoint(path) if path is not None else {}
     result = CampaignResult(completed=dict(completed))
@@ -403,20 +437,40 @@ def run_campaign(
                 attempt += 1
                 result.attempts[key] = attempt
                 try:
-                    pair = _attempt_with_timeout(
-                        lambda: run_fn(workload, scale, abtb), policy.timeout_s
-                    )
+                    if obs is not None and obs.tracer is not None:
+                        with obs.tracer.span(
+                            f"pair {key}", category="campaign", attempt=attempt
+                        ):
+                            pair = _attempt_with_timeout(
+                                lambda: run_fn(workload, scale, abtb), policy.timeout_s
+                            )
+                    else:
+                        pair = _attempt_with_timeout(
+                            lambda: run_fn(workload, scale, abtb), policy.timeout_s
+                        )
                 except ExperimentError as exc:
                     if attempt > policy.max_retries:
                         result.failed[key] = str(exc)
+                        if obs is not None and obs.metrics is not None:
+                            obs.metrics.counter("campaign.pairs_failed").inc()
                         break
+                    if obs is not None and obs.metrics is not None:
+                        obs.metrics.counter("campaign.retries").inc()
                     sleep_fn(policy.backoff(attempt))
                     continue
                 except Exception as exc:  # non-transient: fail fast, move on
                     result.failed[key] = f"{type(exc).__name__}: {exc}"
+                    if obs is not None and obs.metrics is not None:
+                        obs.metrics.counter("campaign.pairs_failed").inc()
                     break
                 base, enhanced = pair
-                result.completed[key] = summarize_pair(base, enhanced)
+                summary = summarize_pair(base, enhanced)
+                result.completed[key] = summary
+                if obs is not None and obs.metrics is not None:
+                    obs.metrics.counter("campaign.pairs_completed").inc()
+                    obs.metrics.series("campaign.speedup").append(
+                        float(len(result.completed)), summary["speedup"]
+                    )
                 if path is not None:
                     _save_checkpoint(path, result.completed)
                 break

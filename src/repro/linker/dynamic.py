@@ -105,6 +105,13 @@ class LinkedProgram:
                 self._got[(name, sym)] = _GotSlot()
         #: (module, symbol) pairs resolved so far, in resolution order.
         self.resolution_log: list[tuple[str, str]] = []
+        #: Optional observability tracer (see :meth:`attach_tracer`).
+        self.tracer = None
+
+    def attach_tracer(self, tracer) -> None:
+        """Emit linker activity (resolver runs, GOT writes, dlclose) as
+        instant events on an :class:`repro.obs.tracer.Tracer`."""
+        self.tracer = tracer
 
     # ---------------------------------------------------------- resolution
 
@@ -157,6 +164,16 @@ class LinkedProgram:
         slot.resolved = True
         slot.value = entry
         self.resolution_log.append((caller, symbol))
+        if self.tracer is not None:
+            self.tracer.instant(
+                f"resolve {caller}:{symbol}",
+                category="linker",
+                caller=caller,
+                symbol=symbol,
+                got_addr=hex(image.got_slot(symbol)),
+                target=hex(entry),
+                ifunc=definition.kind is SymbolKind.IFUNC,
+            )
         return CallBinding(
             symbol,
             caller,
@@ -182,6 +199,8 @@ class LinkedProgram:
                 slot.value = entry
                 self.resolution_log.append((caller, symbol))
                 count += 1
+        if self.tracer is not None:
+            self.tracer.instant("bind_now", category="linker", slots_bound=count)
         return count
 
     def got_value(self, caller: str, symbol: str) -> int | None:
@@ -214,7 +233,17 @@ class LinkedProgram:
         if not slot.resolved:
             raise LinkError(f"GOT slot {caller!r}:{symbol!r} is not resolved")
         slot.value = new_value
-        return self.modules[caller].got_slot(symbol)
+        got_addr = self.modules[caller].got_slot(symbol)
+        if self.tracer is not None:
+            self.tracer.instant(
+                f"got_rewrite {caller}:{symbol}",
+                category="linker",
+                caller=caller,
+                symbol=symbol,
+                got_addr=hex(got_addr),
+                new_value=hex(new_value),
+            )
+        return got_addr
 
     def reselect_ifuncs(self, hwcap_level: int) -> list[tuple[str, str, int, int]]:
         """Re-run every resolved ifunc selector under a new hwcap level.
@@ -235,6 +264,13 @@ class LinkedProgram:
             if entry != slot.value:
                 slot.value = entry
                 rewrites.append((caller, symbol, self.modules[caller].got_slot(symbol), entry))
+        if self.tracer is not None:
+            self.tracer.instant(
+                "ifunc_reselect",
+                category="linker",
+                hwcap_level=hwcap_level,
+                rewrites=len(rewrites),
+            )
         return rewrites
 
     # -------------------------------------------------------------- unload
@@ -261,6 +297,13 @@ class LinkedProgram:
                 del self.symbols._by_name[sym_name]
         del self.modules[name]
         self.load_order.remove(name)
+        if self.tracer is not None:
+            self.tracer.instant(
+                f"dlclose {name}",
+                category="linker",
+                library=name,
+                slots_reset=len(reset),
+            )
         return reset
 
     # ------------------------------------------------------------ geometry

@@ -1,0 +1,404 @@
+"""Time-series metrics: counters, gauges, histograms, ring-buffered series.
+
+The registry turns the model's end-of-run :class:`~repro.uarch.counters.
+PerfCounters` totals into *plottable time series*: a
+:class:`PerfCounterSampler` snapshots counter deltas every N instructions
+into ring-buffered :class:`TimeSeries`, so ABTB warm-up transients, flush
+storms and Bloom-filter saturation become curves instead of single
+numbers.
+
+Exporters: JSON-lines (one metric object per line, trivially greppable /
+pandas-loadable) and Prometheus text exposition format (for anything that
+scrapes ``.prom`` files).
+
+Nothing here touches the CPU's hot loop: sampling piggybacks on the event
+stream via :func:`sampled`, a generator wrapper that only exists when the
+user asked for sampling.  Disabled observability runs the unwrapped
+stream — the fast path is the absence of this module.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import IO, Iterable, Iterator, Sequence
+
+from repro.isa.events import TraceEvent
+from repro.uarch.counters import PerfCounters
+from repro.uarch.cpu import CPU
+
+#: Histogram bucket upper bounds used when none are given.
+DEFAULT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0)
+
+#: Counter fields the sampler tracks by default — the structures the
+#: paper's Table 4 and Figures 5-8 argue about.
+DEFAULT_SAMPLED_FIELDS = (
+    "l1i_misses",
+    "itlb_misses",
+    "branch_mispredictions",
+    "trampolines_executed",
+    "trampolines_skipped",
+    "abtb_hits",
+    "abtb_misses",
+    "abtb_flushes",
+    "got_loads",
+)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: cannot decrease (got {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """A cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS, help: str = ""
+    ) -> None:
+        if list(buckets) != sorted(buckets):
+            raise ValueError(f"histogram {name}: buckets must be sorted")
+        self.name = name
+        self.help = help
+        self.buckets = tuple(float(b) for b in buckets)
+        self.bucket_counts = [0] * len(self.buckets)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                break
+
+    def cumulative_counts(self) -> list[int]:
+        """Bucket counts with each bucket including all smaller ones."""
+        out, running = [], 0
+        for c in self.bucket_counts:
+            running += c
+            out.append(running)
+        return out
+
+
+class TimeSeries:
+    """A ring-buffered (t, value) series: old points fall off the front."""
+
+    kind = "series"
+
+    def __init__(self, name: str, capacity: int = 4096, help: str = "") -> None:
+        if capacity < 1:
+            raise ValueError(f"series {name}: capacity must be positive")
+        self.name = name
+        self.help = help
+        self.capacity = capacity
+        self._points: deque[tuple[float, float]] = deque(maxlen=capacity)
+        #: Total points ever appended (drops = appended - len).
+        self.appended = 0
+
+    def append(self, t: float, value: float) -> None:
+        self._points.append((float(t), float(value)))
+        self.appended += 1
+
+    def points(self) -> list[tuple[float, float]]:
+        return list(self._points)
+
+    def timestamps(self) -> list[float]:
+        return [p[0] for p in self._points]
+
+    def values(self) -> list[float]:
+        return [p[1] for p in self._points]
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+
+class MetricsRegistry:
+    """Named metrics, get-or-create style.
+
+    ``registry.counter("faults_injected").inc()`` — creating and updating
+    are the same call, so instrumentation sites stay one line.
+    """
+
+    def __init__(self, series_capacity: int = 4096) -> None:
+        self.series_capacity = series_capacity
+        self._metrics: dict[str, object] = {}
+
+    def _get(self, name: str, kind: type, factory) -> object:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}"  # type: ignore[attr-defined]
+                )
+            return existing
+        created = factory()
+        self._metrics[name] = created
+        return created
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, Counter, lambda: Counter(name, help))  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name, help))  # type: ignore[return-value]
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS, help: str = ""
+    ) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(name, buckets, help))  # type: ignore[return-value]
+
+    def series(self, name: str, help: str = "", capacity: int | None = None) -> TimeSeries:
+        cap = capacity if capacity is not None else self.series_capacity
+        return self._get(name, TimeSeries, lambda: TimeSeries(name, cap, help))  # type: ignore[return-value]
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str):
+        """Look a metric up by name (KeyError when absent)."""
+        return self._metrics[name]
+
+    # ----------------------------------------------------------- exporters
+
+    def to_jsonl(self) -> str:
+        """One JSON object per metric per line."""
+        lines = []
+        for name in self.names():
+            metric = self._metrics[name]
+            record: dict[str, object] = {"name": name, "kind": metric.kind}  # type: ignore[attr-defined]
+            if isinstance(metric, (Counter, Gauge)):
+                record["value"] = metric.value
+            elif isinstance(metric, Histogram):
+                record["count"] = metric.count
+                record["sum"] = metric.sum
+                record["buckets"] = [
+                    {"le": b, "count": c}
+                    for b, c in zip(metric.buckets, metric.cumulative_counts())
+                ]
+            elif isinstance(metric, TimeSeries):
+                record["points"] = [[t, v] for t, v in metric.points()]
+                record["appended"] = metric.appended
+            lines.append(json.dumps(record))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format.
+
+        Series export their most recent value as a gauge (Prometheus
+        scrapes are point-in-time); the full history lives in the JSONL
+        export.
+        """
+        out: list[str] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            prom = _prom_name(name)
+            if isinstance(metric, (Counter, Gauge)):
+                if metric.help:
+                    out.append(f"# HELP {prom} {metric.help}")
+                out.append(f"# TYPE {prom} {metric.kind}")
+                out.append(f"{prom} {_prom_value(metric.value)}")
+            elif isinstance(metric, Histogram):
+                if metric.help:
+                    out.append(f"# HELP {prom} {metric.help}")
+                out.append(f"# TYPE {prom} histogram")
+                for bound, count in zip(metric.buckets, metric.cumulative_counts()):
+                    out.append(f'{prom}_bucket{{le="{bound}"}} {count}')
+                out.append(f'{prom}_bucket{{le="+Inf"}} {metric.count}')
+                out.append(f"{prom}_sum {_prom_value(metric.sum)}")
+                out.append(f"{prom}_count {metric.count}")
+            elif isinstance(metric, TimeSeries):
+                if metric.help:
+                    out.append(f"# HELP {prom} {metric.help}")
+                out.append(f"# TYPE {prom} gauge")
+                last = metric.values()[-1] if len(metric) else 0.0
+                out.append(f"{prom} {_prom_value(last)}")
+        return "\n".join(out) + ("\n" if out else "")
+
+    def write(self, path: str) -> None:
+        """Write the registry to ``path``; ``.prom`` selects Prometheus
+        text format, anything else JSON-lines."""
+        text = self.to_prometheus() if path.endswith(".prom") else self.to_jsonl()
+        with open(path, "w") as fh:
+            fh.write(text)
+
+    def write_jsonl(self, fh: IO[str]) -> None:
+        fh.write(self.to_jsonl())
+
+
+def _prom_name(name: str) -> str:
+    """Sanitise a metric name for Prometheus (dots/dashes → underscores)."""
+    return "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+
+
+def _prom_value(value: float) -> str:
+    return repr(float(value))
+
+
+class PerfCounterSampler:
+    """Snapshots :class:`PerfCounters` deltas every N instructions.
+
+    Each sample appends, per tracked field, two points timestamped by the
+    cumulative instruction count:
+
+    * ``<prefix><field>_pki`` — cumulative per-kilo-instruction rate (the
+      paper's normalisation; smooth, ideal for warm-up curves);
+    * ``<prefix><field>_pki_window`` — the rate *within* the sampling
+      window (spiky, ideal for spotting flush storms and fault impact).
+
+    Plus ``<prefix>cpi`` (cumulative cycles per instruction).  When a
+    tracer is attached, every sample also lands as a Perfetto counter
+    track on the simulated clock.
+    """
+
+    def __init__(
+        self,
+        cpu: CPU,
+        registry: MetricsRegistry,
+        every: int,
+        fields: Sequence[str] = DEFAULT_SAMPLED_FIELDS,
+        prefix: str = "",
+        tracer=None,
+        tracer_tid: int = 1,
+    ) -> None:
+        if every < 1:
+            raise ValueError(f"sample interval must be positive, got {every}")
+        for field in fields:
+            if field not in PerfCounters.field_names():
+                raise ValueError(
+                    f"unknown counter field {field!r}; valid fields: "
+                    f"{', '.join(PerfCounters.field_names())}"
+                )
+        self.cpu = cpu
+        self.registry = registry
+        self.every = every
+        self.fields = tuple(fields)
+        self.prefix = prefix
+        self.tracer = tracer
+        self.tracer_tid = tracer_tid
+        self.samples_taken = 0
+        self._last = cpu.counters.copy()
+        self._next_at = cpu.counters.instructions + every
+
+    def due(self) -> bool:
+        return self.cpu.counters.instructions >= self._next_at
+
+    def maybe_sample(self) -> bool:
+        """Take a sample iff the instruction interval has elapsed."""
+        if not self.due():
+            return False
+        self.sample()
+        return True
+
+    def sample(self) -> None:
+        """Record one snapshot unconditionally (also used at end-of-run)."""
+        counters = self.cpu.counters
+        counters.cycles = self.cpu.cycles  # keep CPI fresh mid-run
+        t = float(counters.instructions)
+        window = counters.delta(self._last)
+        reg = self.registry
+        for field in self.fields:
+            cumulative = counters.pki(field)
+            reg.series(f"{self.prefix}{field}_pki").append(t, cumulative)
+            reg.series(f"{self.prefix}{field}_pki_window").append(t, window.pki(field))
+            if self.tracer is not None:
+                self.tracer.counter(
+                    f"{self.prefix}{field}_pki",
+                    cumulative,
+                    ts=counters.cycles,
+                    tid=self.tracer_tid,
+                )
+        reg.series(f"{self.prefix}cpi").append(t, counters.cpi)
+        if self.tracer is not None:
+            self.tracer.counter(
+                f"{self.prefix}cpi", counters.cpi, ts=counters.cycles, tid=self.tracer_tid
+            )
+        self.samples_taken += 1
+        self._last = counters.copy()
+        self._next_at = counters.instructions + self.every
+
+
+def sampled(
+    events: Iterable[TraceEvent], sampler: PerfCounterSampler
+) -> Iterator[TraceEvent]:
+    """Wrap an event stream so ``sampler`` fires on instruction intervals.
+
+    The check runs as the CPU pulls each next event — i.e. after it has
+    retired the previous one — so samples land within one event of the
+    exact interval boundary.  A final sample is taken when the stream
+    ends, so short runs always produce at least one point.
+    """
+    for ev in events:
+        if sampler.due():
+            sampler.sample()
+        yield ev
+    sampler.sample()
+
+
+def warmup_shape(
+    values: Sequence[float],
+    min_rise: float = 1.5,
+    tail_frac: float = 0.25,
+    tail_tol: float = 0.15,
+    dip_tol: float = 0.10,
+) -> bool:
+    """Does a series look like a warm-up transient — rising, then stable?
+
+    Checks three properties of e.g. a cumulative ``abtb_hits_pki`` curve:
+
+    * the plateau is at least ``min_rise`` times the first sample
+      (a transient actually happened);
+    * the final ``tail_frac`` of samples stay within ``tail_tol``
+      (relative) of their mean (it plateaued);
+    * no sample dips more than ``dip_tol`` below the running maximum
+      (monotone rise, modulo sampling noise).
+    """
+    if len(values) < 4:
+        return False
+    first, last = values[0], values[-1]
+    if last <= 0:
+        return False
+    if first > 0 and last / first < min_rise:
+        return False
+    if first <= 0 and last <= 0:
+        return False
+    tail = values[-max(2, int(len(values) * tail_frac)):]
+    mean = sum(tail) / len(tail)
+    if mean <= 0 or any(abs(v - mean) > tail_tol * mean for v in tail):
+        return False
+    running_max = values[0]
+    for v in values:
+        if v < running_max * (1.0 - dip_tol):
+            return False
+        running_max = max(running_max, v)
+    return True

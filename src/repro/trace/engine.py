@@ -111,6 +111,9 @@ class ExecutionEngine:
         self.calls_emitted = 0
         #: Lazy resolutions emitted (first calls).
         self.resolutions_emitted = 0
+        #: Optional observability tracer; when set, resolver detours and
+        #: dlclose emissions land as instant events.
+        self.tracer = None
 
     # ------------------------------------------------------------ plt call
 
@@ -183,6 +186,15 @@ class ExecutionEngine:
             )
 
         self.resolutions_emitted += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                f"resolver_run {binding.caller}:{binding.symbol}",
+                category="engine",
+                caller=binding.caller,
+                symbol=binding.symbol,
+                site_pc=hex(site_pc),
+                resolver_instructions=binding.resolver_instructions,
+            )
         events: list[TraceEvent] = []
         # The unresolved GOT slot points back at the stub's lazy tail.
         events.append(call_direct(site_pc, binding.plt_addr))
@@ -238,6 +250,13 @@ class ExecutionEngine:
         if self.mode is not LinkMode.DYNAMIC or not isinstance(self.program, LinkedProgram):
             raise TraceError("dlclose is only meaningful under dynamic linking")
         resets = self.program.unload_library(library)
+        if self.tracer is not None:
+            self.tracer.instant(
+                f"dlclose_events {library}",
+                category="engine",
+                library=library,
+                got_resets=len(resets),
+            )
         events: list[TraceEvent] = []
         pc = RESOLVER_TEXT_BASE + 0x2000  # ld.so's unload path
         events.append(block(pc, 120 + 10 * len(resets), 0x600))

@@ -81,11 +81,30 @@ class PerfCounters:
             setattr(out, name, getattr(self, name) + getattr(other, name))
         return out
 
+    def _value(self, field: str) -> int:
+        """A counter value, with a helpful error for typo'd field names."""
+        if field not in _FIELDS:
+            raise ValueError(
+                f"unknown counter field {field!r}; valid fields: {', '.join(_FIELDS)}"
+            )
+        return getattr(self, field)
+
     def pki(self, field: str) -> float:
         """A counter normalised per kilo-instruction, as the paper reports."""
+        value = self._value(field)
         if self.instructions == 0:
             return 0.0
-        return 1000.0 * getattr(self, field) / self.instructions
+        return 1000.0 * value / self.instructions
+
+    def rate(self, field: str, per: str = "instructions") -> float:
+        """``field`` divided by ``per`` (0.0 when the denominator is zero).
+
+        The metrics sampler uses this for windowed ratios, e.g.
+        ``rate("abtb_hits", "btb_lookups")`` or plain per-instruction rates.
+        """
+        numerator = self._value(field)
+        denominator = self._value(per)
+        return numerator / denominator if denominator else 0.0
 
     @property
     def cpi(self) -> float:

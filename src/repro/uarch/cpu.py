@@ -104,6 +104,49 @@ class CPUHooks:
     def on_store(self, addr: int) -> None:
         """A store to ``addr`` retired on this core."""
 
+    def on_trampoline(
+        self,
+        site_pc: int,
+        stub_pc: int,
+        target: int,
+        skipped: bool,
+        n_instr: int,
+        got_load: bool,
+        abtb_hit: bool,
+        mispredicted: bool,
+    ) -> None:
+        """One trampoline interaction retired — executed *or* skipped.
+
+        ``site_pc`` is the originating call site (equal to ``stub_pc`` for
+        tail-called trampolines the pairing logic never sees), ``n_instr``
+        the stub instructions actually fetched (0 on a skip).  The
+        observability profiler charges per-call-site costs through this
+        hook point.
+        """
+
+
+class ChainedHooks(CPUHooks):
+    """Fan one CPU's hook stream out to several observers.
+
+    Lets the chaos oracle and the observability profiler (or any other
+    :class:`CPUHooks` implementations) watch the same core at once.
+    """
+
+    def __init__(self, *hooks: CPUHooks | None) -> None:
+        self.hooks: tuple[CPUHooks, ...] = tuple(h for h in hooks if h is not None)
+
+    def on_skip(self, call: TraceEvent, jmp: TraceEvent, target: int) -> None:
+        for hook in self.hooks:
+            hook.on_skip(call, jmp, target)
+
+    def on_store(self, addr: int) -> None:
+        for hook in self.hooks:
+            hook.on_store(addr)
+
+    def on_trampoline(self, *args, **kwargs) -> None:
+        for hook in self.hooks:
+            hook.on_trampoline(*args, **kwargs)
+
 
 class CPU:
     """One simulated core, optionally equipped with the skip mechanism."""
@@ -325,16 +368,23 @@ class CPU:
             self._data_access(ev.mem_addr, is_store=False)
             self.counters.got_loads += 1
         self.counters.branches += 1
-        if ev.tag == "plt":
+        tail_call = ev.tag == "plt"
+        if tail_call:
             # A trampoline reached by a tail call (jmp, not call): it
             # executes but the mechanism's call+branch pattern never
             # learns it (Section 2.3's "unconventional tricks").
             self.counters.trampolines_executed += 1
             self.counters.trampoline_instructions += 1
         pred = self._btb_lookup(ev.pc)
-        if pred != ev.target:
+        mispredicted = pred != ev.target
+        if mispredicted:
             self._mispredict()
         self.btb.update(ev.pc, ev.target)
+        if tail_call and self.hooks is not None:
+            # No call site to charge: the stub's own PC is the best key.
+            self.hooks.on_trampoline(
+                ev.pc, ev.pc, ev.target, False, 1, bool(ev.mem_addr), False, mispredicted
+            )
 
     def _cond_branch(self, ev: TraceEvent) -> None:
         self._fetch(ev)
@@ -369,6 +419,8 @@ class CPU:
         """
         c = self.counters
         mech = self.mechanism
+        mp_before = c.branch_mispredictions
+        abtb_hit = False
 
         self._fetch(call)
         c.branches += 1
@@ -380,6 +432,7 @@ class CPU:
             mapped = mech.mapped_target(real)
             if mapped is not None:
                 c.abtb_hits += 1
+                abtb_hit = True
             else:
                 c.abtb_misses += 1
 
@@ -393,6 +446,9 @@ class CPU:
                 c.trampolines_skipped += 1
                 if self.hooks is not None:
                     self.hooks.on_skip(call, jmp, mapped)
+                    self.hooks.on_trampoline(
+                        call.pc, jmp.pc, mapped, True, 0, False, True, False
+                    )
                 return
 
             # The modified update logic always installs the ABTB-mapped
@@ -450,6 +506,17 @@ class CPU:
             # extra startup misprediction, never in steady state.)
             self.btb.update(call.pc, jmp.target)
             mech.note_promotion()
+        if self.hooks is not None:
+            self.hooks.on_trampoline(
+                call.pc,
+                jmp.pc,
+                jmp.target,
+                False,
+                1 + (stub.n_instr if stub is not None else 0),
+                bool(jmp.mem_addr),
+                abtb_hit,
+                c.branch_mispredictions > mp_before,
+            )
 
     # ------------------------------------------------------ context switch
 

@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
+from repro import __version__
 from repro.cli import build_parser, main
+from repro.obs.tracer import validate_chrome_trace
 
 
 class TestParser:
@@ -28,6 +32,37 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["compare", "postgres"])
 
+    def test_profile_parses_with_defaults(self):
+        args = build_parser().parse_args(["profile", "memcached"])
+        assert args.command == "profile"
+        assert args.requests == 80 and args.abtb == 256 and args.top == 10
+        assert args.trace_out is None and args.sample_every == 2000
+
+    def test_profile_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "postgres"])
+
+    def test_obs_flags_accepted_everywhere(self):
+        for sub in (["run", "hwcost"], ["compare", "memcached"],
+                    ["chaos"], ["campaign"], ["profile", "apache"]):
+            args = build_parser().parse_args(
+                sub + ["--trace-out", "t.json", "--metrics-out", "m.prom",
+                       "--sample-every", "500"]
+            )
+            assert args.trace_out == "t.json"
+            assert args.metrics_out == "m.prom"
+            assert args.sample_every == 500
+
+    def test_sample_every_rejects_non_integer(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "memcached", "--sample-every", "lots"])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
 
 class TestCommands:
     def test_list_prints_all_experiments(self, capsys):
@@ -50,3 +85,36 @@ class TestCommands:
     def test_run_all_parses(self):
         args = build_parser().parse_args(["run", "all"])
         assert args.experiment == "all"
+
+    def test_list_json_is_machine_readable(self, capsys):
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "table2" in payload
+        assert {"paper_ref", "description"} <= set(payload["table2"])
+
+    def test_profile_memcached(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["profile", "memcached", "--requests", "40", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Hot trampolines (top 5 call sites)" in out
+        assert "attributed to named call sites" in out
+        # Default trace path derives from the workload name.
+        trace = tmp_path / "memcached.profile.trace.json"
+        assert trace.exists()
+        assert validate_chrome_trace(json.loads(trace.read_text())) == []
+
+    def test_compare_writes_observability_outputs(self, capsys, tmp_path):
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.jsonl"
+        assert main([
+            "compare", "memcached", "--requests", "20",
+            "--trace-out", str(trace), "--metrics-out", str(metrics),
+            "--sample-every", "4000",
+        ]) == 0
+        assert validate_chrome_trace(json.loads(trace.read_text())) == []
+        names = {json.loads(line)["name"] for line in metrics.read_text().splitlines()}
+        assert any(n.startswith("enhanced.") and n.endswith("_pki") for n in names)
+
+    def test_unknown_experiment_exits_nonzero(self, capsys):
+        assert main(["run", "nonesuch"]) == 1
+        assert "unknown experiment" in capsys.readouterr().err

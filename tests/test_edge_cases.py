@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigError
-from repro.core import MechanismConfig, TrampolineSkipMechanism
+from repro.core import TrampolineSkipMechanism
 from repro.isa.events import block, call_direct, jmp_indirect, load, mark, ret
 from repro.isa.kinds import EventKind
 from repro.uarch import CPU, CPUConfig, PerfCounters

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core import MechanismConfig, TrampolineSkipMechanism
 from repro.experiments.runner import run_pair, run_workload
 from repro.experiments.scale import Scale

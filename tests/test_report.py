@@ -1,0 +1,103 @@
+"""Edge-case tests for :mod:`repro.analysis.report`.
+
+The report types are the rendering substrate for every experiment *and*
+the observability profiler's hot-trampoline tables, so their corner
+behaviour (empty tables, mixed-type cells, short series) is load-bearing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import Report, Series, Table
+
+
+class TestTableEdgeCases:
+    def test_empty_table_renders_header_only(self):
+        table = Table("Empty", ["a", "bb"])
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0] == "Empty"
+        assert "a" in rendered and "bb" in rendered
+        # Title, underline, column header, column underline — no rows.
+        assert len(lines) == 4
+
+    def test_add_row_rejects_wrong_arity(self):
+        table = Table("T", ["x", "y"])
+        with pytest.raises(ValueError, match="expected 2 values, got 3"):
+            table.add_row(1, 2, 3)
+        with pytest.raises(ValueError, match="expected 2 values, got 1"):
+            table.add_row(1)
+
+    def test_mixed_type_columns_render(self):
+        table = Table("Mixed", ["name", "value"])
+        table.add_row("tiny", 0.00123)
+        table.add_row("big", 1234567.0)
+        table.add_row("int", 42)
+        table.add_row("text", "n/a")
+        table.add_row("zero", 0.0)
+        rendered = table.render()
+        assert "0.001" in rendered          # small floats keep 3 decimals
+        assert "1,234,567" in rendered      # big floats get separators
+        assert "42" in rendered
+        assert "n/a" in rendered
+        # float zero renders as bare 0, not 0.000
+        assert any(line.split()[-1] == "0" for line in rendered.splitlines())
+
+    def test_column_lookup(self):
+        table = Table("T", ["k", "v"])
+        table.add_row("a", 1)
+        table.add_row("b", 2)
+        assert table.column("v") == [1, 2]
+        with pytest.raises(ValueError):
+            table.column("missing")
+
+    def test_column_widths_fit_longest_cell(self):
+        table = Table("T", ["short", "col"])
+        table.add_row("a-very-long-cell-value", 1)
+        header, underline, row = table.render().splitlines()[2:5]
+        assert len(underline) >= len("a-very-long-cell-value")
+
+
+class TestSeriesEdgeCases:
+    def test_render_with_fewer_points_than_max_keeps_all(self):
+        series = Series("warmup", x=[1.0, 2.0, 3.0], y=[0.1, 0.2, 0.3])
+        rendered = series.render(max_points=12)
+        assert rendered.startswith("warmup:")
+        assert rendered.count("(") == 3
+
+    def test_render_downsamples_long_series(self):
+        n = 100
+        series = Series("s", x=[float(i) for i in range(n)], y=[0.0] * n)
+        rendered = series.render(max_points=10)
+        assert rendered.count("(") <= 10
+
+    def test_render_empty_series(self):
+        assert Series("empty", x=[], y=[]).render() == "empty: "
+
+
+class TestReportShapes:
+    def test_all_shapes_hold_failure(self):
+        report = Report("exp", "desc", shape_checks={"good": True, "bad": False})
+        assert not report.all_shapes_hold
+        rendered = report.render()
+        assert "[PASS] good" in rendered
+        assert "[FAIL] bad" in rendered
+
+    def test_all_shapes_hold_vacuous_truth(self):
+        assert Report("exp", "desc").all_shapes_hold
+
+    def test_render_includes_tables_series_notes(self):
+        table = Table("T", ["c"])
+        table.add_row(1)
+        report = Report(
+            "exp",
+            "desc",
+            tables=[table],
+            series=[Series("s", [1.0], [2.0])],
+            notes=["scaled down"],
+        )
+        rendered = report.render()
+        assert "=== exp: desc ===" in rendered
+        assert "T" in rendered and "s: " in rendered
+        assert "note: scaled down" in rendered

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import MechanismConfig, TrampolineSkipMechanism
+from repro.core import TrampolineSkipMechanism
 from repro.errors import LinkError, TraceError
 from repro.isa.events import coherence_inval
 from repro.isa.kinds import EventKind
