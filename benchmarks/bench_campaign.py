@@ -1,0 +1,99 @@
+"""Wall-clock budget for the sharded campaign runner.
+
+The parallel campaign's contract has two halves:
+
+* **Correctness** — a sharded campaign produces byte-identical numbers to
+  the serial one (held by ``tests/test_snapshot.py`` and the CI smoke
+  job, not re-asserted here).
+* **Speed** — a campaign that can reuse checkpointed warm-up state must
+  beat a cold serial campaign by a real margin.  This benchmark measures
+  that margin and asserts the acceptance bound (>= 1.5x at ``--jobs 4``
+  with a warm machine cache).
+
+The workload mix is deliberately warm-up heavy (``startup`` dominates
+``steady``): that is the regime the machine cache targets, because the
+warm-up prefix of every (workload, mode) pair is simulated once, saved
+as a :class:`~repro.uarch.MachineState`, and every later ABTB size
+restores it instead of re-simulating.  Numbers are written to
+``benchmarks/output/campaign.json`` for EXPERIMENTS.md.
+
+Run with ``pytest benchmarks/bench_campaign.py -q -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import tempfile
+import time
+
+from repro.experiments.runner import run_campaign
+from repro.experiments.scale import Scale
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+#: Warm-up heavy mix: long startups, short steady phases.
+BENCH_SCALE = Scale("bench", {"memcached": (400, 80), "apache": (40, 8)})
+WORKLOADS = ("memcached", "apache")
+ABTB_SIZES = (16, 64, 256)
+JOBS = 4
+#: Acceptance bound from the issue: warm-cache sharded campaign vs cold
+#: serial campaign.
+MIN_SPEEDUP = 1.5
+
+
+def _campaign(jobs: int, cache_dir: str | None) -> tuple[float, dict]:
+    start = time.perf_counter()
+    result = run_campaign(
+        WORKLOADS,
+        BENCH_SCALE,
+        abtb_sizes=ABTB_SIZES,
+        jobs=jobs,
+        machine_cache_dir=cache_dir,
+    )
+    elapsed = time.perf_counter() - start
+    assert result.ok and len(result.completed) == len(WORKLOADS) * len(ABTB_SIZES)
+    return elapsed, result.completed
+
+
+def test_sharded_campaign_speedup_with_warm_cache():
+    """serial-cold vs jobs=4 cold-cache vs jobs=4 warm-cache.
+
+    The cold-cache arm pays the one-time fill (simulate + validated
+    checkpoint write); the warm-cache arm restores every warm-up prefix
+    and must clear the 1.5x acceptance bound against serial-cold.
+    """
+    serial_s, serial_summary = _campaign(jobs=1, cache_dir=None)
+
+    with tempfile.TemporaryDirectory() as cache:
+        cold_s, cold_summary = _campaign(jobs=JOBS, cache_dir=cache)
+        warm_s, warm_summary = _campaign(jobs=JOBS, cache_dir=cache)
+
+    # Identical numbers across all three arms — speed never buys drift.
+    assert serial_summary == cold_summary == warm_summary
+
+    speedup_cold = serial_s / cold_s
+    speedup_warm = serial_s / warm_s
+    record = {
+        "scale": {name: list(req) for name, req in BENCH_SCALE.requests.items()},
+        "abtb_sizes": list(ABTB_SIZES),
+        "jobs": JOBS,
+        "serial_cold_s": round(serial_s, 3),
+        "sharded_cold_cache_s": round(cold_s, 3),
+        "sharded_warm_cache_s": round(warm_s, 3),
+        "speedup_cold_cache": round(speedup_cold, 3),
+        "speedup_warm_cache": round(speedup_warm, 3),
+        "checkpoint_reuse_saving_s": round(serial_s - warm_s, 3),
+        "min_speedup_bound": MIN_SPEEDUP,
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "campaign.json").write_text(json.dumps(record, indent=2) + "\n")
+    print(
+        f"\nserial cold {serial_s:.1f}s | jobs={JOBS} cold-cache {cold_s:.1f}s "
+        f"(x{speedup_cold:.2f}) | jobs={JOBS} warm-cache {warm_s:.1f}s "
+        f"(x{speedup_warm:.2f}, bound x{MIN_SPEEDUP})"
+    )
+    assert speedup_warm >= MIN_SPEEDUP, (
+        f"warm-cache sharded campaign only x{speedup_warm:.2f} vs serial "
+        f"(bound x{MIN_SPEEDUP}); checkpoint reuse regressed"
+    )

@@ -60,8 +60,17 @@ class Injector:
             (0 disables the random schedule).
         at: fixed (event_index, fault) pairs; each fires at the first safe
             position at or after its index.  Works alongside ``rate``.
+            Indices are *absolute* stream positions — see ``base_index``.
         validate: route the instrumented stream through the trace
             validator (on by default — chaos runs must detect corruption).
+        base_index: absolute position of the wrapped stream's first event.
+            A run resumed from a machine checkpoint wraps only the tail of
+            the trace; passing the checkpoint's ``trace_position`` here
+            keeps ``at`` schedules (and the reported injection records)
+            in the full-trace coordinate system, so a fault planned at
+            index N lands at the same event whether or not the run
+            resumed.  Scheduled entries before ``base_index`` fall in the
+            already-simulated prefix and are dropped.
     """
 
     def __init__(
@@ -74,6 +83,7 @@ class Injector:
         validate: bool = True,
         tracer=None,
         metrics=None,
+        base_index: int = 0,
     ) -> None:
         if rate < 0 or rate >= 1:
             raise ChaosError(f"injection rate must be in [0, 1), got {rate}")
@@ -89,9 +99,18 @@ class Injector:
         #: Optional :class:`repro.obs.metrics.MetricsRegistry`: per-fault
         #: landing counters (``chaos.faults.<name>``).
         self.metrics = metrics
+        if base_index < 0:
+            raise ChaosError(f"base_index must be >= 0, got {base_index}")
         self._rng = np.random.default_rng(seed)
         self._scheduled = sorted(at, key=lambda pair: pair[0])
-        self.index = 0
+        #: Scheduled firings that fall inside the skipped prefix of a
+        #: resumed run; they already happened (or never will) — dropped.
+        self.dropped_schedule = 0
+        while self._scheduled and self._scheduled[0][0] < base_index:
+            self._scheduled.pop(0)
+            self.dropped_schedule += 1
+        self.base_index = base_index
+        self.index = base_index
         self.injected = 0
         self.events_spliced = 0
         self.fault_counts: dict[str, int] = {}

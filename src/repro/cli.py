@@ -159,10 +159,73 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         policy=RetryPolicy(timeout_s=args.timeout, max_retries=args.retries),
         obs=obs,
+        jobs=args.jobs,
+        machine_cache_dir=args.machine_cache,
     )
     print(result.render())
     _report_exports(obs)
     return 0 if result.ok else 1
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    from repro.uarch.machine import MachineState
+
+    if args.action == "save":
+        from repro.core import MechanismConfig, TrampolineSkipMechanism
+        from repro.trace.engine import TraceCursor
+        from repro.uarch import CPU
+        from repro.workloads import Workload
+
+        cfg = ALL_WORKLOADS[args.workload].config()
+        workload = Workload(cfg)
+        mechanism = None
+        if args.enhanced:
+            mechanism = TrampolineSkipMechanism(MechanismConfig(abtb_entries=args.abtb))
+        cpu = CPU(mechanism=mechanism)
+        cursor = TraceCursor(workload.startup_trace())
+        cpu.run(cursor)
+        workload.reset_usage_stats()
+        if args.requests:
+            cursor = TraceCursor(
+                workload.trace(args.requests, include_marks=False),
+                base_index=cursor.index,
+            )
+            cpu.run(cursor)
+        cpu.finalize()
+        state = MachineState.capture(
+            cpu,
+            trace_position=cursor.index,
+            meta={
+                "workload": args.workload,
+                "warmup_requests": args.requests,
+                "label": "enhanced" if args.enhanced else "base",
+            },
+        )
+        state.save(args.out)
+        print(f"checkpoint: wrote {args.out} "
+              f"({cpu.counters.instructions} instructions simulated)")
+        return 0
+
+    state = MachineState.load(args.path)
+    if args.action == "verify":
+        state.validate_roundtrip()  # raises ReproError on divergence
+        print(f"checkpoint: {args.path} OK "
+              f"(version {state.version}, round-trip validated)")
+        return 0
+
+    # info
+    counters = state.cpu["components"].get("counters", {})
+    print(f"path           : {args.path}")
+    print(f"version        : {state.version}")
+    print(f"trace position : {state.trace_position}")
+    print(f"mechanism      : "
+          f"{'none' if state.mechanism_config is None else state.mechanism_config}")
+    print(f"components     : {', '.join(sorted(state.cpu['components']))}")
+    print(f"instructions   : {counters.get('instructions', '?')}")
+    print(f"cycles         : {state.cpu.get('cycles', '?')}")
+    for key, value in sorted(state.meta.items()):
+        print(f"meta.{key:<10}: {value}")
+    return 0
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser, sample_default: int = 0) -> None:
@@ -263,8 +326,47 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--checkpoint", default=None, help="JSON checkpoint path (resume skips completed pairs)")
     campaign.add_argument("--timeout", type=float, default=None, help="per-run timeout in seconds")
     campaign.add_argument("--retries", type=int, default=2, help="retries per pair for transient failures")
+    campaign.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard pairs over N worker processes (results are byte-identical to serial)",
+    )
+    campaign.add_argument(
+        "--machine-cache",
+        default=None,
+        metavar="DIR",
+        help="directory of warm-machine checkpoints; repeat runs (and the shared "
+        "base machine of an ABTB sweep) restore warm-up instead of re-simulating",
+    )
     _add_obs_flags(campaign)
     campaign.set_defaults(func=_cmd_campaign)
+
+    checkpoint = sub.add_parser(
+        "checkpoint", help="save / inspect / verify machine-state checkpoints"
+    )
+    ckpt_sub = checkpoint.add_subparsers(dest="action", required=True)
+    ckpt_save = ckpt_sub.add_parser(
+        "save", help="simulate startup + warm-up and save the machine state"
+    )
+    ckpt_save.add_argument("workload", choices=sorted(ALL_WORKLOADS))
+    ckpt_save.add_argument("--out", required=True, help="output checkpoint path")
+    ckpt_save.add_argument("--requests", type=int, default=10, help="warm-up requests")
+    ckpt_save.add_argument("--abtb", type=int, default=256)
+    ckpt_save.add_argument(
+        "--enhanced", action="store_true",
+        help="equip the CPU with the trampoline-skip mechanism",
+    )
+    ckpt_save.set_defaults(func=_cmd_checkpoint)
+    ckpt_info = ckpt_sub.add_parser("info", help="describe a saved checkpoint")
+    ckpt_info.add_argument("path")
+    ckpt_info.set_defaults(func=_cmd_checkpoint)
+    ckpt_verify = ckpt_sub.add_parser(
+        "verify", help="round-trip-validate a saved checkpoint (exit 1 on divergence)"
+    )
+    ckpt_verify.add_argument("path")
+    ckpt_verify.set_defaults(func=_cmd_checkpoint)
     return parser
 
 

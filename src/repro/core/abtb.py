@@ -76,6 +76,62 @@ class ABTB:
         self._table.clear()
         self.flushes += 1
 
+    # --------------------------------------------------------- SimComponent
+
+    def snapshot(self) -> dict:
+        """Table contents in replacement order plus stats, JSON-safe."""
+        return {
+            "entries": self.entries,
+            "policy": self.policy,
+            "table": [
+                [tramp, func, got] for tramp, (func, got) in self._table.items()
+            ],
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "inserts": self.inserts,
+            "evictions": self.evictions,
+            "flushes": self.flushes,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a snapshot taken on an identically configured ABTB.
+
+        The table's iteration order *is* the replacement order, so rows
+        are reinserted in snapshot order.
+        """
+        if state.get("entries") != self.entries or state.get("policy") != self.policy:
+            raise ConfigError(
+                f"ABTB: snapshot (entries={state.get('entries')!r}, "
+                f"policy={state.get('policy')!r}) does not match instance "
+                f"(entries={self.entries}, policy={self.policy!r})"
+            )
+        self._table = OrderedDict(
+            (int(tramp), (int(func), int(got))) for tramp, func, got in state["table"]
+        )
+        self.lookups = int(state["lookups"])
+        self.hits = int(state["hits"])
+        self.inserts = int(state["inserts"])
+        self.evictions = int(state["evictions"])
+        self.flushes = int(state["flushes"])
+
+    def reset(self) -> None:
+        """Empty table, zeroed stats (including the flush count)."""
+        self._table.clear()
+        self.lookups = 0
+        self.hits = 0
+        self.inserts = 0
+        self.evictions = 0
+        self.flushes = 0
+
+    def describe(self) -> dict:
+        """Static configuration."""
+        return {
+            "kind": "abtb",
+            "entries": self.entries,
+            "policy": self.policy,
+            "storage_bytes": self.storage_bytes,
+        }
+
     def __len__(self) -> int:
         return len(self._table)
 

@@ -69,6 +69,50 @@ class BloomFilter:
         self._bitset = 0
         self._population = 0
 
+    # --------------------------------------------------------- SimComponent
+
+    def snapshot(self) -> dict:
+        """Bitset (hex-encoded) plus population and stats, JSON-safe."""
+        return {
+            "bits": self.bits,
+            "hashes": self.hashes,
+            "bitset": hex(self._bitset),
+            "population": self._population,
+            "adds": self.adds,
+            "queries": self.queries,
+            "hits": self.hits,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a snapshot taken on an identically sized filter."""
+        if state.get("bits") != self.bits or state.get("hashes") != self.hashes:
+            raise ConfigError(
+                f"bloom: snapshot (bits={state.get('bits')!r}, "
+                f"hashes={state.get('hashes')!r}) does not match instance "
+                f"(bits={self.bits}, hashes={self.hashes})"
+            )
+        self._bitset = int(state["bitset"], 16)
+        self._population = int(state["population"])
+        self.adds = int(state["adds"])
+        self.queries = int(state["queries"])
+        self.hits = int(state["hits"])
+
+    def reset(self) -> None:
+        """Cleared bits, zeroed stats."""
+        self.clear()
+        self.adds = 0
+        self.queries = 0
+        self.hits = 0
+
+    def describe(self) -> dict:
+        """Static configuration."""
+        return {
+            "kind": "bloom_filter",
+            "bits": self.bits,
+            "hashes": self.hashes,
+            "storage_bytes": self.storage_bytes,
+        }
+
     @property
     def population(self) -> int:
         """Keys inserted since the last clear."""

@@ -37,7 +37,9 @@ class MechanismConfig:
     asid_support: bool = False
 
     def __post_init__(self) -> None:
-        if self.abtb_entries < 1:
-            raise ConfigError("abtb_entries must be >= 1")
+        if self.abtb_entries < 1 or self.abtb_entries & (self.abtb_entries - 1):
+            raise ConfigError(
+                f"abtb_entries must be a power of two >= 1, got {self.abtb_entries}"
+            )
         if self.bloom_bits < 8:
             raise ConfigError("bloom_bits must be >= 8")

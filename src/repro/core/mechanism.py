@@ -23,11 +23,12 @@ store snooping entirely; correctness then depends on software calling
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.core.abtb import ABTB
 from repro.core.bloom import BloomFilter
 from repro.core.config import MechanismConfig
+from repro.errors import ConfigError
 
 
 @dataclass
@@ -120,6 +121,44 @@ class TrampolineSkipMechanism:
     def _flush(self) -> None:
         self.abtb.flush()
         self.bloom.clear()
+
+    # --------------------------------------------------------- SimComponent
+
+    def snapshot(self) -> dict:
+        """Composite state: ABTB, Bloom filter and mechanism stats."""
+        return {
+            "config": asdict(self.config),
+            "abtb": self.abtb.snapshot(),
+            "bloom": self.bloom.snapshot(),
+            "stats": asdict(self.stats),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a snapshot taken on an identically configured mechanism."""
+        if state.get("config") != asdict(self.config):
+            raise ConfigError(
+                f"mechanism: snapshot config {state.get('config')!r} does not "
+                f"match instance config {asdict(self.config)!r}"
+            )
+        self.abtb.restore(state["abtb"])
+        self.bloom.restore(state["bloom"])
+        self.stats = MechanismStats(**state["stats"])
+
+    def reset(self) -> None:
+        """Cold mechanism: empty ABTB and filter, zeroed stats."""
+        self.abtb.reset()
+        self.bloom.reset()
+        self.stats = MechanismStats()
+
+    def describe(self) -> dict:
+        """Static configuration of both sub-structures."""
+        return {
+            "kind": "trampoline_skip_mechanism",
+            "config": asdict(self.config),
+            "abtb": self.abtb.describe(),
+            "bloom": self.bloom.describe(),
+            "storage_bytes": self.storage_bytes,
+        }
 
     # ----------------------------------------------------------- metadata
 

@@ -15,9 +15,9 @@ import json
 import math
 import os
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
 
@@ -26,9 +26,15 @@ import numpy as np
 from repro.core.config import MechanismConfig
 from repro.core.mechanism import TrampolineSkipMechanism
 from repro.errors import ConfigError, ExperimentError
-from repro.trace.engine import LinkMode
+from repro.trace.engine import LinkMode, TraceCursor
 from repro.uarch.counters import PerfCounters
 from repro.uarch.cpu import CPU, CPUConfig
+from repro.uarch.machine import (
+    MACHINE_STATE_VERSION,
+    CheckpointStore,
+    MachineState,
+    machine_key,
+)
 from repro.uarch.timing import TimingModel
 from repro.workloads import ALL_WORKLOADS
 from repro.workloads.base import Workload, WorkloadConfig
@@ -108,6 +114,31 @@ class RunResult:
         return self.counters.trampolines_skipped / total if total else 0.0
 
 
+def warmup_machine_key(
+    config: WorkloadConfig,
+    mode: LinkMode,
+    cpu_config: CPUConfig,
+    mechanism_config: MechanismConfig | None,
+    warmup_requests: int,
+) -> str:
+    """Checkpoint-store key for one warmed-up machine configuration.
+
+    Covers everything that determines post-warm-up state: the workload
+    recipe (seed included), link mode, full CPU geometry, mechanism
+    configuration (None for a base machine) and warm-up length.  Machines
+    that differ in any of these can never share a checkpoint.
+    """
+    return machine_key(
+        kind="warmup",
+        version=MACHINE_STATE_VERSION,
+        workload=asdict(config),
+        mode=mode.value,
+        cpu=cpu_config.as_dict(),
+        mechanism=asdict(mechanism_config) if mechanism_config is not None else None,
+        warmup_requests=warmup_requests,
+    )
+
+
 def run_workload(
     config: WorkloadConfig,
     mechanism: TrampolineSkipMechanism | None = None,
@@ -119,6 +150,7 @@ def run_workload(
     strict_marks: bool = False,
     obs=None,
     obs_label: str | None = None,
+    machine_cache: CheckpointStore | None = None,
 ) -> RunResult:
     """Run startup + warmup, then measure a steady-state window.
 
@@ -130,6 +162,15 @@ def run_workload(
     profiler hooks onto the CPU, the counter sampler rides every phase of
     the run (startup included — that is where the ABTB warm-up transient
     lives), and request windows become trace spans.
+
+    ``machine_cache`` enables warm-up reuse: startup + warm-up state is
+    checkpointed per machine configuration, and a later run with the
+    *identical* configuration restores it instead of re-simulating —
+    the trace generator is drained to the same position (generation is
+    stateful and cannot be skipped), so the measurement window is
+    counter-for-counter identical to an uncached run.  The cache is
+    bypassed when ``obs`` is active, because skipping warm-up simulation
+    would silently drop its trace spans and counter samples.
     """
     label = label or ("enhanced" if mechanism else "base")
     obs_label = obs_label or label
@@ -138,16 +179,53 @@ def run_workload(
     cpu = CPU(cpu_config, mechanism, hooks=hooks)
     if obs is not None:
         obs.attach_workload(workload)
-        cpu.run(obs.instrument(workload.startup_trace(), cpu, obs_label))
+
+    use_cache = machine_cache is not None and obs is None
+    cache_key = None
+    state = None
+    if use_cache:
+        cache_key = warmup_machine_key(
+            config, mode, cpu.config,
+            mechanism.config if mechanism is not None else None,
+            warmup_requests,
+        )
+        state = machine_cache.load(cache_key)
+
+    if state is not None:
+        # Warm machine found: advance the (stateful) trace generator by
+        # draining the startup and warm-up streams — no simulation — and
+        # restore the simulated structures from the checkpoint.
+        TraceCursor(workload.startup_trace()).drain()
+        workload.reset_usage_stats()
+        if warmup_requests:
+            TraceCursor(workload.trace(warmup_requests, include_marks=False)).drain()
+        state.restore_into(cpu)
+        cpu.finalize()
     else:
-        cpu.run(workload.startup_trace())
-    workload.reset_usage_stats()  # Table 3 / Fig 4 cover organic execution
-    if warmup_requests:
-        stream = workload.trace(warmup_requests, include_marks=False)
         if obs is not None:
-            stream = obs.instrument(stream, cpu, obs_label)
-        cpu.run(stream)
-    cpu.finalize()
+            cpu.run(obs.instrument(workload.startup_trace(), cpu, obs_label))
+        else:
+            cpu.run(workload.startup_trace())
+        workload.reset_usage_stats()  # Table 3 / Fig 4 cover organic execution
+        if warmup_requests:
+            stream = workload.trace(warmup_requests, include_marks=False)
+            if obs is not None:
+                stream = obs.instrument(stream, cpu, obs_label)
+            cpu.run(stream)
+        cpu.finalize()
+        if use_cache and cache_key is not None:
+            machine_cache.save(
+                cache_key,
+                MachineState.capture(
+                    cpu,
+                    meta={
+                        "workload": config.name,
+                        "mode": mode.value,
+                        "label": label,
+                        "warmup_requests": warmup_requests,
+                    },
+                ),
+            )
     snapshot = cpu.counters.copy()
     marks_before = len(cpu.marks)
 
@@ -180,8 +258,16 @@ def run_pair(
     mechanism_config: MechanismConfig | None = None,
     seed: int | None = None,
     obs=None,
+    machine_cache: CheckpointStore | None = None,
 ) -> tuple[RunResult, RunResult]:
-    """Base vs enhanced over identical traces of a named workload."""
+    """Base vs enhanced over identical traces of a named workload.
+
+    With a ``machine_cache``, each side's startup + warm-up is simulated
+    once per machine configuration and restored thereafter.  The base
+    machine's warm-up is independent of the ABTB size, so an ABTB sweep
+    re-simulates base warm-up exactly once, and repeated campaigns reuse
+    everything.
+    """
     try:
         module = ALL_WORKLOADS[workload_name]
     except KeyError:
@@ -206,6 +292,7 @@ def run_pair(
             run_workload(
                 cfg, mech, warmup, measured, cpu_config,
                 label=label, obs=obs, obs_label=obs_label,
+                machine_cache=machine_cache,
             )
         )
     base, enhanced = results
@@ -395,6 +482,126 @@ def _attempt_with_timeout(fn: Callable[[], object], timeout_s: float | None):
         executor.shutdown(wait=False)
 
 
+def _run_one_pair(
+    key: str,
+    workload: str,
+    scale,
+    abtb: int,
+    policy: RetryPolicy,
+    run_fn: Callable[[str, object, int], tuple[RunResult, RunResult]],
+    sleep_fn: Callable[[float], None],
+    obs=None,
+) -> dict:
+    """One pair with the full retry/timeout discipline; never raises.
+
+    Returns an outcome record: ``{"key", "attempts", "retries", "failed",
+    "summary"}`` where exactly one of ``failed`` (an error string) and
+    ``summary`` (a :func:`summarize_pair` dict) is set.  Both the serial
+    loop and the sharded worker run pairs through this, so their
+    summaries are produced by identical code.
+    """
+    attempt = 0
+    retries = 0
+    while True:
+        attempt += 1
+        try:
+            if obs is not None and obs.tracer is not None:
+                with obs.tracer.span(
+                    f"pair {key}", category="campaign", attempt=attempt
+                ):
+                    pair = _attempt_with_timeout(
+                        lambda: run_fn(workload, scale, abtb), policy.timeout_s
+                    )
+            else:
+                pair = _attempt_with_timeout(
+                    lambda: run_fn(workload, scale, abtb), policy.timeout_s
+                )
+        except ExperimentError as exc:
+            if attempt > policy.max_retries:
+                return {
+                    "key": key, "attempts": attempt, "retries": retries,
+                    "failed": str(exc), "summary": None,
+                }
+            retries += 1
+            sleep_fn(policy.backoff(attempt))
+            continue
+        except Exception as exc:  # non-transient: fail fast, move on
+            return {
+                "key": key, "attempts": attempt, "retries": retries,
+                "failed": f"{type(exc).__name__}: {exc}", "summary": None,
+            }
+        base, enhanced = pair
+        return {
+            "key": key, "attempts": attempt, "retries": retries,
+            "failed": None, "summary": summarize_pair(base, enhanced),
+        }
+
+
+def _obs_spec(obs) -> dict | None:
+    """Picklable recipe for rebuilding an equivalent obs session in a
+    worker process (live sessions hold tracers/registries and workload
+    references that must not cross the fork/spawn boundary)."""
+    if obs is None:
+        return None
+    return {
+        "trace": obs.tracer is not None,
+        "metrics": obs.metrics is not None,
+        "sample_every": obs.sample_every,
+        "profile": obs.profiler is not None,
+        "sampled_fields": tuple(obs.sampled_fields),
+    }
+
+
+def _obs_from_spec(spec: dict | None):
+    if spec is None:
+        return None
+    from repro.obs import Observability
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import Tracer
+
+    obs = Observability(
+        sample_every=spec["sample_every"],
+        profile=spec["profile"],
+        sampled_fields=spec["sampled_fields"],
+    )
+    if spec["trace"]:
+        obs.tracer = Tracer()
+    if spec["metrics"] and obs.metrics is None:
+        obs.metrics = MetricsRegistry()
+    return obs
+
+
+def _campaign_worker(task: dict) -> dict:
+    """Process-pool entry point: run one pair in a fresh interpreter.
+
+    Rebuilds the per-worker obs session and machine cache from picklable
+    specs, runs the pair through :func:`_run_one_pair`, and ships the
+    outcome back together with the worker's metric state and trace
+    events for the parent to merge.
+    """
+    obs = _obs_from_spec(task["obs_spec"])
+    cache = (
+        CheckpointStore(task["machine_cache_dir"])
+        if task["machine_cache_dir"] is not None
+        else None
+    )
+
+    def run_fn(w, s, n):
+        return run_pair(w, s, abtb_entries=n, obs=obs, machine_cache=cache)
+
+    outcome = _run_one_pair(
+        task["key"], task["workload"], task["scale"], task["abtb"],
+        task["policy"], run_fn, time.sleep, obs=obs,
+    )
+    outcome["metrics_state"] = (
+        obs.metrics.state_dict() if obs is not None and obs.metrics is not None else None
+    )
+    outcome["tracer_events"] = (
+        list(obs.tracer.events) if obs is not None and obs.tracer is not None else None
+    )
+    return outcome
+
+
 def run_campaign(
     workloads: Sequence[str],
     scale,
@@ -404,6 +611,8 @@ def run_campaign(
     run_fn: Callable[[str, object, int], tuple[RunResult, RunResult]] | None = None,
     sleep_fn: Callable[[float], None] = time.sleep,
     obs=None,
+    jobs: int = 1,
+    machine_cache_dir: str | Path | None = None,
 ) -> CampaignResult:
     """Sweep (workload × ABTB size) with timeout, retry and checkpointing.
 
@@ -414,64 +623,130 @@ def run_campaign(
     a partial result.  ``run_fn`` and ``sleep_fn`` exist for tests: the
     default ``run_fn`` is :func:`run_pair`.
 
+    ``jobs > 1`` shards the remaining pairs over a
+    :class:`~concurrent.futures.ProcessPoolExecutor`.  Every pair is
+    simulated by exactly one worker with the same retry/timeout
+    discipline as the serial path, outcomes are merged in the serial
+    loop's deterministic order, and the campaign checkpoint is still
+    written incrementally as pairs finish — so a sharded campaign
+    produces byte-identical summaries and checkpoints to a serial one.
+    Sharding requires the default ``run_fn``/``sleep_fn`` (custom
+    callables don't cross process boundaries); otherwise the campaign
+    silently runs serially.
+
+    ``machine_cache_dir`` holds warm-machine checkpoints shared by all
+    workers (see :func:`run_workload`); atomic writes make the racy
+    first-fill benign.
+
     With an ``obs`` session, each pair attempt runs under a host-clock
     trace span and the sweep's progress lands in counters
     (``campaign.pairs_completed`` / ``campaign.pairs_failed``) plus a
     per-pair speedup series — deep CPU-level sampling is wired through
-    :func:`run_pair` when ``run_fn`` is the default.
+    :func:`run_pair` when ``run_fn`` is the default.  Sharded workers
+    sample into their own registries/tracers, which are merged into the
+    parent session in deterministic pair order.
     """
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1, got {jobs}")
+    machine_cache = (
+        CheckpointStore(machine_cache_dir) if machine_cache_dir is not None else None
+    )
+    parallel = jobs > 1 and run_fn is None and sleep_fn is time.sleep
     if run_fn is None:
-        run_fn = lambda w, s, n: run_pair(w, s, abtb_entries=n, obs=obs)  # noqa: E731
+        run_fn = lambda w, s, n: run_pair(  # noqa: E731
+            w, s, abtb_entries=n, obs=obs, machine_cache=machine_cache
+        )
     path = Path(checkpoint_path) if checkpoint_path is not None else None
     completed = _load_checkpoint(path) if path is not None else {}
     result = CampaignResult(completed=dict(completed))
 
+    scale_name = getattr(scale, "name", str(scale))
+    tasks: list[tuple[str, str, int]] = []
     for workload in workloads:
         for abtb in abtb_sizes:
-            key = pair_key(workload, abtb, getattr(scale, "name", str(scale)))
+            key = pair_key(workload, abtb, scale_name)
             if key in completed:
                 result.resumed += 1
-                continue
-            attempt = 0
-            while True:
-                attempt += 1
-                result.attempts[key] = attempt
-                try:
-                    if obs is not None and obs.tracer is not None:
-                        with obs.tracer.span(
-                            f"pair {key}", category="campaign", attempt=attempt
-                        ):
-                            pair = _attempt_with_timeout(
-                                lambda: run_fn(workload, scale, abtb), policy.timeout_s
-                            )
-                    else:
-                        pair = _attempt_with_timeout(
-                            lambda: run_fn(workload, scale, abtb), policy.timeout_s
-                        )
-                except ExperimentError as exc:
-                    if attempt > policy.max_retries:
-                        result.failed[key] = str(exc)
-                        if obs is not None and obs.metrics is not None:
-                            obs.metrics.counter("campaign.pairs_failed").inc()
-                        break
-                    if obs is not None and obs.metrics is not None:
-                        obs.metrics.counter("campaign.retries").inc()
-                    sleep_fn(policy.backoff(attempt))
-                    continue
-                except Exception as exc:  # non-transient: fail fast, move on
-                    result.failed[key] = f"{type(exc).__name__}: {exc}"
-                    if obs is not None and obs.metrics is not None:
-                        obs.metrics.counter("campaign.pairs_failed").inc()
-                    break
-                base, enhanced = pair
-                summary = summarize_pair(base, enhanced)
-                result.completed[key] = summary
-                if obs is not None and obs.metrics is not None:
-                    obs.metrics.counter("campaign.pairs_completed").inc()
-                    obs.metrics.series("campaign.speedup").append(
-                        float(len(result.completed)), summary["speedup"]
-                    )
-                if path is not None:
-                    _save_checkpoint(path, result.completed)
-                break
+            else:
+                tasks.append((key, workload, abtb))
+
+    def absorb(outcome: dict) -> None:
+        """Fold one pair outcome into the result + obs, serially."""
+        key = outcome["key"]
+        result.attempts[key] = outcome["attempts"]
+        if obs is not None and obs.metrics is not None and outcome["retries"]:
+            obs.metrics.counter("campaign.retries").inc(outcome["retries"])
+        if outcome["failed"] is not None:
+            result.failed[key] = outcome["failed"]
+            if obs is not None and obs.metrics is not None:
+                obs.metrics.counter("campaign.pairs_failed").inc()
+            return
+        result.completed[key] = outcome["summary"]
+        if obs is not None and obs.metrics is not None:
+            obs.metrics.counter("campaign.pairs_completed").inc()
+            obs.metrics.series("campaign.speedup").append(
+                float(len(result.completed)), outcome["summary"]["speedup"]
+            )
+        if path is not None:
+            _save_checkpoint(path, result.completed)
+
+    if not parallel:
+        for key, workload, abtb in tasks:
+            absorb(
+                _run_one_pair(
+                    key, workload, scale, abtb, policy, run_fn, sleep_fn, obs=obs
+                )
+            )
+        return result
+
+    # ------------------------------------------------------------ sharded
+    obs_spec = _obs_spec(obs)
+    cache_dir = str(machine_cache_dir) if machine_cache_dir is not None else None
+    outcomes: dict[str, dict] = {}
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {
+            pool.submit(
+                _campaign_worker,
+                {
+                    "key": key, "workload": workload, "abtb": abtb,
+                    "scale": scale, "policy": policy,
+                    "obs_spec": obs_spec, "machine_cache_dir": cache_dir,
+                },
+            ): key
+            for key, workload, abtb in tasks
+        }
+        for future in as_completed(futures):
+            key = futures[future]
+            try:
+                outcome = future.result()
+            except Exception as exc:  # worker process died
+                outcome = {
+                    "key": key, "attempts": 1, "retries": 0,
+                    "failed": f"worker crashed: {type(exc).__name__}: {exc}",
+                    "summary": None, "metrics_state": None, "tracer_events": None,
+                }
+            outcomes[key] = outcome
+            # Incremental checkpoint as pairs land (arrival order; the
+            # file's sorted keys make the bytes order-independent).
+            if path is not None and outcome["failed"] is None:
+                staged = dict(result.completed)
+                staged.update(
+                    {
+                        k: o["summary"]
+                        for k, o in outcomes.items()
+                        if o["failed"] is None
+                    }
+                )
+                _save_checkpoint(path, staged)
+
+    # Merge in the serial loop's order so attempts/completed/failed and
+    # the obs streams are deterministic regardless of arrival order.
+    for key, _workload, _abtb in tasks:
+        outcome = outcomes[key]
+        absorb(outcome)
+        if obs is not None:
+            if obs.metrics is not None and outcome.get("metrics_state"):
+                obs.metrics.merge_state(outcome["metrics_state"])
+            if obs.tracer is not None and outcome.get("tracer_events"):
+                obs.tracer.events.extend(outcome["tracer_events"])
     return result

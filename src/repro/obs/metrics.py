@@ -189,6 +189,68 @@ class MetricsRegistry:
         """Look a metric up by name (KeyError when absent)."""
         return self._metrics[name]
 
+    # ------------------------------------------------------- worker merging
+
+    def state_dict(self) -> dict:
+        """JSON-safe dump of every metric, for cross-process aggregation.
+
+        Campaign workers run with their own registry and ship this dict
+        back to the parent, which folds it in with :meth:`merge_state`.
+        """
+        out: dict[str, dict] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            record: dict[str, object] = {"kind": metric.kind, "help": metric.help}  # type: ignore[attr-defined]
+            if isinstance(metric, (Counter, Gauge)):
+                record["value"] = metric.value
+            elif isinstance(metric, Histogram):
+                record["buckets"] = list(metric.buckets)
+                record["bucket_counts"] = list(metric.bucket_counts)
+                record["count"] = metric.count
+                record["sum"] = metric.sum
+            elif isinstance(metric, TimeSeries):
+                record["capacity"] = metric.capacity
+                record["points"] = [[t, v] for t, v in metric.points()]
+                record["appended"] = metric.appended
+            out[name] = record
+        return out
+
+    def merge_state(self, state: dict) -> None:
+        """Fold a worker's :meth:`state_dict` into this registry.
+
+        Counters and histograms sum, gauges take the incoming value
+        (last-writer-wins), series extend with the worker's points.  Kind
+        or bucket mismatches raise ValueError rather than merge nonsense.
+        """
+        for name in sorted(state):
+            record = state[name]
+            kind = record["kind"]
+            help_text = record.get("help", "")
+            if kind == "counter":
+                self.counter(name, help_text).value += float(record["value"])
+            elif kind == "gauge":
+                self.gauge(name, help_text).set(float(record["value"]))
+            elif kind == "histogram":
+                hist = self.histogram(name, tuple(record["buckets"]), help_text)
+                if list(hist.buckets) != list(record["buckets"]):
+                    raise ValueError(
+                        f"histogram {name!r}: incoming buckets {record['buckets']} "
+                        f"do not match existing {list(hist.buckets)}"
+                    )
+                for i, c in enumerate(record["bucket_counts"]):
+                    hist.bucket_counts[i] += int(c)
+                hist.count += int(record["count"])
+                hist.sum += float(record["sum"])
+            elif kind == "series":
+                series = self.series(name, help_text, capacity=int(record["capacity"]))
+                points = record["points"]
+                for t, v in points:
+                    series.append(t, v)
+                # Preserve the worker's drop count (appends beyond capacity).
+                series.appended += int(record["appended"]) - len(points)
+            else:
+                raise ValueError(f"metric {name!r}: unknown kind {kind!r}")
+
     # ----------------------------------------------------------- exporters
 
     def to_jsonl(self) -> str:

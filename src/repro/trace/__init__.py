@@ -8,6 +8,7 @@ from repro.trace.engine import (
     SYMTAB_DATA_BASE,
     ExecutionEngine,
     LinkMode,
+    TraceCursor,
 )
 
 __all__ = [
@@ -15,6 +16,7 @@ __all__ = [
     "CallStyle",
     "ExecutionEngine",
     "LinkMode",
+    "TraceCursor",
     "PATCH_OVERHEAD_INSTRUCTIONS",
     "RESOLVER_TEXT_BASE",
     "SYMTAB_DATA_BASE",

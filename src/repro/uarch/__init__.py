@@ -2,8 +2,10 @@
 
 from repro.uarch.btb import BTB
 from repro.uarch.cache import SetAssociativeCache
+from repro.uarch.component import ComponentRegistry, SimComponent, default_registry
 from repro.uarch.counters import PerfCounters
 from repro.uarch.cpu import CPU, CPUConfig, CPUHooks, Mark
+from repro.uarch.machine import CheckpointStore, MachineState, machine_key
 from repro.uarch.multicore import DualCoreSystem
 from repro.uarch.predictor import GsharePredictor, ReturnAddressStack
 from repro.uarch.timing import TimingModel
@@ -14,12 +16,18 @@ __all__ = [
     "CPU",
     "CPUConfig",
     "CPUHooks",
+    "CheckpointStore",
+    "ComponentRegistry",
     "DualCoreSystem",
     "GsharePredictor",
+    "MachineState",
     "Mark",
     "PerfCounters",
     "ReturnAddressStack",
     "SetAssociativeCache",
+    "SimComponent",
     "TLB",
     "TimingModel",
+    "default_registry",
+    "machine_key",
 ]

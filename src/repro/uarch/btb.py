@@ -9,6 +9,7 @@ address, which is what makes the front end skip the trampoline.
 from __future__ import annotations
 
 from repro.errors import ConfigError
+from repro.uarch.component import check_geometry
 
 
 class BTB:
@@ -67,6 +68,52 @@ class BTB:
         """Invalidate every entry."""
         for entries in self._sets:
             entries.clear()
+
+    # --------------------------------------------------------- SimComponent
+
+    def snapshot(self) -> dict:
+        """Complete prediction/LRU state plus stats, JSON-safe."""
+        return {
+            "n_sets": self.n_sets,
+            "ways": self.ways,
+            "sets": [
+                [[pc, target, stamp] for pc, (target, stamp) in entries.items()]
+                for entries in self._sets
+            ],
+            "stamp": self._stamp,
+            "lookups": self.lookups,
+            "misses": self.misses,
+            "updates": self.updates,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a snapshot taken on an identically shaped BTB."""
+        check_geometry("BTB", state, n_sets=self.n_sets, ways=self.ways)
+        self._sets = [
+            {int(pc): (int(target), int(stamp)) for pc, target, stamp in rows}
+            for rows in state["sets"]
+        ]
+        self._stamp = int(state["stamp"])
+        self.lookups = int(state["lookups"])
+        self.misses = int(state["misses"])
+        self.updates = int(state["updates"])
+
+    def reset(self) -> None:
+        """Cold BTB: empty sets, zeroed stats."""
+        self.flush()
+        self._stamp = 0
+        self.lookups = 0
+        self.misses = 0
+        self.updates = 0
+
+    def describe(self) -> dict:
+        """Static geometry."""
+        return {
+            "kind": "btb",
+            "entries": self.n_sets * self.ways,
+            "ways": self.ways,
+            "n_sets": self.n_sets,
+        }
 
     @property
     def occupancy(self) -> int:

@@ -7,6 +7,7 @@ counts of misses per kilo-instruction, which depend on tag state alone.
 from __future__ import annotations
 
 from repro.errors import ConfigError
+from repro.uarch.component import check_geometry, decode_table, encode_table
 
 
 class SetAssociativeCache:
@@ -84,6 +85,53 @@ class SetAssociativeCache:
         """Invalidate all lines (stats are preserved)."""
         for entries in self._sets:
             entries.clear()
+
+    # --------------------------------------------------------- SimComponent
+
+    def snapshot(self) -> dict:
+        """Complete tag/LRU state plus stats, JSON-safe."""
+        return {
+            "name": self.name,
+            "n_sets": self.n_sets,
+            "ways": self.ways,
+            "line_bytes": self.line_bytes,
+            "sets": [encode_table(entries) for entries in self._sets],
+            "stamp": self._stamp,
+            "accesses": self.accesses,
+            "misses": self.misses,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a snapshot taken on an identically shaped cache."""
+        check_geometry(
+            self.name,
+            state,
+            n_sets=self.n_sets,
+            ways=self.ways,
+            line_bytes=self.line_bytes,
+        )
+        self._sets = [decode_table(rows) for rows in state["sets"]]
+        self._stamp = int(state["stamp"])
+        self.accesses = int(state["accesses"])
+        self.misses = int(state["misses"])
+
+    def reset(self) -> None:
+        """Cold cache: empty sets, zeroed stats."""
+        self.flush()
+        self._stamp = 0
+        self.accesses = 0
+        self.misses = 0
+
+    def describe(self) -> dict:
+        """Static geometry."""
+        return {
+            "kind": "set_associative_cache",
+            "name": self.name,
+            "size_bytes": self.n_sets * self.ways * self.line_bytes,
+            "line_bytes": self.line_bytes,
+            "ways": self.ways,
+            "n_sets": self.n_sets,
+        }
 
     @property
     def miss_rate(self) -> float:

@@ -115,6 +115,29 @@ class PerfCounters:
         """Plain dict of all counters."""
         return {name: getattr(self, name) for name in _FIELDS}
 
+    # --------------------------------------------------------- SimComponent
+
+    def snapshot(self) -> dict:
+        """All counter values, JSON-safe."""
+        return self.as_dict()
+
+    def restore(self, state: dict) -> None:
+        """Restore a snapshot; unknown fields raise ValueError."""
+        unknown = set(state) - set(_FIELDS)
+        if unknown:
+            raise ValueError(f"unknown counter(s) in snapshot: {sorted(unknown)}")
+        for name in _FIELDS:
+            setattr(self, name, state.get(name, 0))
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for name in _FIELDS:
+            setattr(self, name, 0)
+
+    def describe(self) -> dict:
+        """Static metadata: the counter fields tracked."""
+        return {"kind": "perf_counters", "fields": list(_FIELDS)}
+
     def table4_row(self) -> dict[str, float]:
         """The five PKI metrics of the paper's Table 4."""
         return {

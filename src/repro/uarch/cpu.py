@@ -5,6 +5,25 @@ charges every structural effect the paper measures: L1I/L1D line touches,
 I-TLB/D-TLB page touches, BTB lookups, direction predictions, RAS
 operations and the resulting cycle costs.
 
+Architecturally the CPU is a *composition of components*: every hardware
+structure it contains (caches, TLBs, BTB, direction predictor, RAS,
+performance counters) implements the
+:class:`~repro.uarch.component.SimComponent` protocol and is assembled
+from the :class:`~repro.uarch.component.ComponentRegistry` the CPU is
+constructed with.  That buys two things:
+
+* **swappability** — alternative structures drop in by overriding a
+  registry entry, without touching the CPU;
+* **snapshot/restore** — :meth:`CPU.snapshot` serialises the complete
+  machine state (components, mechanism, cycle clock, marks) to a
+  JSON-safe dict and :meth:`CPU.restore` reproduces it exactly, which is
+  what :mod:`repro.uarch.machine` checkpoints are built on.
+
+Event handling is a dispatch table over per-kind handlers
+(:attr:`CPU._dispatch`); the trampoline-pair lookahead runs through an
+:class:`EventCursor` that supports bounded push-back, replacing the old
+monolithic ``run()`` loop.
+
 When constructed with a :class:`~repro.core.TrampolineSkipMechanism`, the
 model implements the paper's protocol:
 
@@ -27,23 +46,60 @@ and RAS mismatches count fully in both systems.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields as dataclass_fields
 
 from repro.core.mechanism import TrampolineSkipMechanism
-from repro.errors import TraceError
+from repro.errors import ConfigError, TraceError
 from repro.isa.events import TraceEvent
 from repro.isa.kinds import EventKind
-from repro.uarch.btb import BTB
-from repro.uarch.cache import SetAssociativeCache
+from repro.uarch.component import ComponentRegistry, default_registry
 from repro.uarch.counters import PerfCounters
-from repro.uarch.predictor import GsharePredictor, ReturnAddressStack
 from repro.uarch.timing import TimingModel
-from repro.uarch.tlb import TLB
+
+#: Component names the CPU's datapath requires from any registry.
+REQUIRED_COMPONENTS = (
+    "l1i",
+    "l1d",
+    "l2",
+    "itlb",
+    "dtlb",
+    "btb",
+    "gshare",
+    "ras",
+    "counters",
+)
+
+#: CPUConfig fields that must be powers of two (structure indexability).
+_POWER_OF_TWO_FIELDS = (
+    "l1i_bytes",
+    "l1d_bytes",
+    "l2_bytes",
+    "line_bytes",
+    "itlb_entries",
+    "dtlb_entries",
+    "btb_entries",
+    "gshare_entries",
+)
+
+#: CPUConfig fields that must be positive integers.
+_POSITIVE_FIELDS = (
+    "l1i_ways",
+    "l1d_ways",
+    "l2_ways",
+    "itlb_ways",
+    "dtlb_ways",
+    "btb_ways",
+    "ras_depth",
+)
 
 
 @dataclass(frozen=True)
 class CPUConfig:
     """Structure sizes, defaulting to the paper's Xeon E5450 testbed.
+
+    Every field is validated at construction: non-power-of-two structure
+    sizes or negative latencies raise :class:`ValueError` naming the bad
+    field (rather than silently producing nonsense counters downstream).
 
     Attributes:
         l1i_bytes / l1i_ways: instruction cache geometry (32 KB, 8-way).
@@ -79,6 +135,43 @@ class CPUConfig:
     ras_depth: int = 16
     direct_btb_bubble: float = 3.0
     timing: TimingModel = field(default_factory=TimingModel)
+
+    def __post_init__(self) -> None:
+        for name in _POWER_OF_TWO_FIELDS:
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1 or value & (value - 1):
+                raise ValueError(
+                    f"CPUConfig.{name} must be a positive power of two, got {value!r}"
+                )
+        for name in _POSITIVE_FIELDS:
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(f"CPUConfig.{name} must be >= 1, got {value!r}")
+        if not 1 <= self.history_bits <= 32:
+            raise ValueError(
+                f"CPUConfig.history_bits must be in [1, 32], got {self.history_bits!r}"
+            )
+        if self.direct_btb_bubble < 0:
+            raise ValueError(
+                "CPUConfig.direct_btb_bubble is a latency and must be "
+                f"non-negative, got {self.direct_btb_bubble!r}"
+            )
+
+    def as_dict(self) -> dict:
+        """JSON-safe dict of every field (timing nested as a dict)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CPUConfig":
+        """Rebuild a config from :meth:`as_dict` output."""
+        known = {f.name for f in dataclass_fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(f"unknown CPUConfig field(s): {sorted(unknown)}")
+        payload = dict(data)
+        if isinstance(payload.get("timing"), dict):
+            payload["timing"] = TimingModel(**payload["timing"])
+        return cls(**payload)
 
 
 @dataclass
@@ -143,35 +236,113 @@ class ChainedHooks(CPUHooks):
         for hook in self.hooks:
             hook.on_store(addr)
 
-    def on_trampoline(self, *args, **kwargs) -> None:
+    def on_trampoline(
+        self,
+        site_pc: int,
+        stub_pc: int,
+        target: int,
+        skipped: bool,
+        n_instr: int,
+        got_load: bool,
+        abtb_hit: bool,
+        mispredicted: bool,
+    ) -> None:
         for hook in self.hooks:
-            hook.on_trampoline(*args, **kwargs)
+            hook.on_trampoline(
+                site_pc,
+                stub_pc,
+                target,
+                skipped,
+                n_instr,
+                got_load,
+                abtb_hit,
+                mispredicted,
+            )
+
+
+class EventCursor:
+    """Pull-based view over an event stream with bounded push-back.
+
+    The trampoline-pair handler looks ahead up to two events and may put
+    them back; the cursor keeps that lookahead local instead of threading
+    a ``pending`` list through the run loop.  Push-back is LIFO: events
+    pushed in reverse order come back out in stream order.
+    """
+
+    __slots__ = ("_it", "_pushed")
+
+    def __init__(self, events) -> None:
+        self._it = iter(events)
+        self._pushed: list[TraceEvent] = []
+
+    def next(self) -> TraceEvent | None:
+        """The next event, or None at end of stream."""
+        if self._pushed:
+            return self._pushed.pop()
+        return next(self._it, None)
+
+    def push(self, ev: TraceEvent) -> None:
+        """Return an event to the front of the stream."""
+        self._pushed.append(ev)
+
+
+#: Schema version of :meth:`CPU.snapshot` payloads.
+CPU_SNAPSHOT_VERSION = 1
 
 
 class CPU:
-    """One simulated core, optionally equipped with the skip mechanism."""
+    """One simulated core, optionally equipped with the skip mechanism.
+
+    Args:
+        config: structure geometry (defaults to the paper's testbed).
+        mechanism: optional trampoline-skip mechanism (the "enhanced"
+            configuration).
+        hooks: optional :class:`CPUHooks` observer.
+        registry: component registry the core is assembled from; defaults
+            to :func:`~repro.uarch.component.default_registry`.  Must
+            provide every name in :data:`REQUIRED_COMPONENTS`.
+    """
 
     def __init__(
         self,
         config: CPUConfig | None = None,
         mechanism: TrampolineSkipMechanism | None = None,
         hooks: CPUHooks | None = None,
+        registry: ComponentRegistry | None = None,
     ) -> None:
         self.config = config if config is not None else CPUConfig()
-        cfg = self.config
+        self.registry = registry if registry is not None else default_registry()
+        missing = [n for n in REQUIRED_COMPONENTS if n not in self.registry]
+        if missing:
+            raise ConfigError(f"component registry is missing {missing}")
         self.mechanism = mechanism
         self.hooks = hooks
-        self.l1i = SetAssociativeCache("L1I", cfg.l1i_bytes, cfg.line_bytes, cfg.l1i_ways)
-        self.l1d = SetAssociativeCache("L1D", cfg.l1d_bytes, cfg.line_bytes, cfg.l1d_ways)
-        self.l2 = SetAssociativeCache("L2", cfg.l2_bytes, cfg.line_bytes, cfg.l2_ways)
-        self.itlb = TLB("ITLB", cfg.itlb_entries, cfg.itlb_ways)
-        self.dtlb = TLB("DTLB", cfg.dtlb_entries, cfg.dtlb_ways)
-        self.btb = BTB(cfg.btb_entries, cfg.btb_ways)
-        self.gshare = GsharePredictor(cfg.gshare_entries, cfg.history_bits)
-        self.ras = ReturnAddressStack(cfg.ras_depth)
-        self.counters = PerfCounters()
+        #: Name → component map; attributes of the same names alias it.
+        self.components = self.registry.build(self.config)
+        for name, component in self.components.items():
+            setattr(self, name, component)
+        self.counters: PerfCounters  # for type checkers; set via components
         self.cycles = 0.0
         self.marks: list[Mark] = []
+        self._dispatch = self._build_dispatch()
+
+    def _build_dispatch(self):
+        """The per-kind handler table the run loop dispatches through."""
+        K = EventKind
+        return {
+            K.BLOCK: self._handle_block,
+            K.CALL_DIRECT: self._handle_call_direct,
+            K.LOAD: self._handle_load,
+            K.STORE: self._handle_store,
+            K.COND_BRANCH: self._handle_cond_branch,
+            K.RET: self._handle_ret,
+            K.CALL_INDIRECT: self._handle_call_indirect,
+            K.JMP_INDIRECT: self._handle_jmp_indirect,
+            K.JMP_DIRECT: self._handle_jmp_direct,
+            K.COHERENCE_INVAL: self._handle_coherence_inval,
+            K.CONTEXT_SWITCH: self._handle_context_switch,
+            K.MARK: self._handle_mark,
+        }
 
     # ------------------------------------------------------------ plumbing
 
@@ -242,86 +413,102 @@ class CPU:
 
     def run(self, events) -> PerfCounters:
         """Process an event stream; returns the (live) counter bundle."""
-        it = iter(events)
-        pending: list[TraceEvent] = []
-        K = EventKind
+        cursor = EventCursor(events)
+        dispatch = self._dispatch
         while True:
-            if pending:
-                ev = pending.pop(0)
-            else:
-                ev = next(it, None)
-                if ev is None:
-                    break
-            kind = ev.kind
-            if kind == K.BLOCK:
-                self._fetch(ev)
-            elif kind == K.CALL_DIRECT:
-                nxt = pending.pop(0) if pending else next(it, None)
-                if nxt is not None and nxt.kind == K.JMP_INDIRECT and nxt.pc == ev.target:
-                    # x86-64 stub: the indirect branch is the whole body.
-                    self._trampoline_pair(ev, nxt)
-                elif (
-                    nxt is not None
-                    and nxt.kind == K.BLOCK
-                    and nxt.pc == ev.target
-                    and nxt.nbytes <= 12
-                ):
-                    # ARM-style stub: an address-computation prefix before
-                    # the indirect branch (paper Figure 2b).
-                    nxt2 = pending.pop(0) if pending else next(it, None)
-                    if (
-                        nxt2 is not None
-                        and nxt2.kind == K.JMP_INDIRECT
-                        and nxt2.pc == nxt.pc + nxt.nbytes
-                    ):
-                        self._trampoline_pair(ev, nxt2, stub=nxt)
-                    else:
-                        self._call_direct(ev)
-                        pending = [e for e in (nxt, nxt2) if e is not None] + pending
-                else:
-                    self._call_direct(ev)
-                    if nxt is not None:
-                        pending.insert(0, nxt)
-            elif kind == K.LOAD:
-                self._fetch(ev)
-                self._data_access(ev.mem_addr, is_store=False)
-            elif kind == K.STORE:
-                self._fetch(ev)
-                self._data_access(ev.mem_addr, is_store=True)
-                if self.hooks is not None:
-                    self.hooks.on_store(ev.mem_addr)
-                if self.mechanism is not None:
-                    self.mechanism.snoop_store(ev.mem_addr)
-                    if ev.tag == "got-store" and not self.mechanism.config.use_bloom:
-                        # Section 3.4: without the Bloom filter, software
-                        # (the dynamic linker) explicitly invalidates the
-                        # ABTB whenever it rewrites a GOT slot.
-                        self.mechanism.invalidate()
-            elif kind == K.COND_BRANCH:
-                self._cond_branch(ev)
-            elif kind == K.RET:
-                self._ret(ev)
-            elif kind == K.CALL_INDIRECT:
-                self._call_indirect(ev)
-            elif kind == K.JMP_INDIRECT:
-                # An indirect jump outside a trampoline pair (e.g. the
-                # resolver's final jump to the function).
-                self._jmp_indirect(ev)
-            elif kind == K.JMP_DIRECT:
-                self._jmp_direct(ev)
-            elif kind == K.COHERENCE_INVAL:
-                # A remote core invalidated this line; no local execution,
-                # but the mechanism snoops it like a store (Section 3.2).
-                if self.mechanism is not None:
-                    self.mechanism.coherence_invalidate(ev.mem_addr)
-            elif kind == K.CONTEXT_SWITCH:
-                self._context_switch()
-            elif kind == K.MARK:
-                self.marks.append(Mark(ev.tag, self.counters.instructions, self.cycles))
-            else:  # pragma: no cover - exhaustive dispatch
-                raise TraceError(f"unhandled event kind {kind!r}")
+            ev = cursor.next()
+            if ev is None:
+                break
+            handler = dispatch.get(ev.kind)
+            if handler is None:
+                raise TraceError(f"unhandled event kind {ev.kind!r}")
+            handler(ev, cursor)
         self.counters.cycles = self.cycles
         return self.counters
+
+    # ------------------------------------------------------ event handlers
+    #
+    # One handler per EventKind; each takes the event and the cursor (only
+    # CALL_DIRECT looks ahead, to detect trampoline pairs).
+
+    def _handle_block(self, ev: TraceEvent, cursor: EventCursor) -> None:
+        self._fetch(ev)
+
+    def _handle_call_direct(self, ev: TraceEvent, cursor: EventCursor) -> None:
+        nxt = cursor.next()
+        if nxt is not None and nxt.kind == EventKind.JMP_INDIRECT and nxt.pc == ev.target:
+            # x86-64 stub: the indirect branch is the whole body.
+            self._trampoline_pair(ev, nxt)
+        elif (
+            nxt is not None
+            and nxt.kind == EventKind.BLOCK
+            and nxt.pc == ev.target
+            and nxt.nbytes <= 12
+        ):
+            # ARM-style stub: an address-computation prefix before
+            # the indirect branch (paper Figure 2b).
+            nxt2 = cursor.next()
+            if (
+                nxt2 is not None
+                and nxt2.kind == EventKind.JMP_INDIRECT
+                and nxt2.pc == nxt.pc + nxt.nbytes
+            ):
+                self._trampoline_pair(ev, nxt2, stub=nxt)
+            else:
+                self._call_direct(ev)
+                if nxt2 is not None:
+                    cursor.push(nxt2)
+                cursor.push(nxt)
+        else:
+            self._call_direct(ev)
+            if nxt is not None:
+                cursor.push(nxt)
+
+    def _handle_load(self, ev: TraceEvent, cursor: EventCursor) -> None:
+        self._fetch(ev)
+        self._data_access(ev.mem_addr, is_store=False)
+
+    def _handle_store(self, ev: TraceEvent, cursor: EventCursor) -> None:
+        self._fetch(ev)
+        self._data_access(ev.mem_addr, is_store=True)
+        if self.hooks is not None:
+            self.hooks.on_store(ev.mem_addr)
+        if self.mechanism is not None:
+            self.mechanism.snoop_store(ev.mem_addr)
+            if ev.tag == "got-store" and not self.mechanism.config.use_bloom:
+                # Section 3.4: without the Bloom filter, software
+                # (the dynamic linker) explicitly invalidates the
+                # ABTB whenever it rewrites a GOT slot.
+                self.mechanism.invalidate()
+
+    def _handle_cond_branch(self, ev: TraceEvent, cursor: EventCursor) -> None:
+        self._cond_branch(ev)
+
+    def _handle_ret(self, ev: TraceEvent, cursor: EventCursor) -> None:
+        self._ret(ev)
+
+    def _handle_call_indirect(self, ev: TraceEvent, cursor: EventCursor) -> None:
+        self._call_indirect(ev)
+
+    def _handle_jmp_indirect(self, ev: TraceEvent, cursor: EventCursor) -> None:
+        # An indirect jump outside a trampoline pair (e.g. the
+        # resolver's final jump to the function).
+        self._jmp_indirect(ev)
+
+    def _handle_jmp_direct(self, ev: TraceEvent, cursor: EventCursor) -> None:
+        self._jmp_direct(ev)
+
+    def _handle_coherence_inval(self, ev: TraceEvent, cursor: EventCursor) -> None:
+        # A remote core invalidated this line; no local execution,
+        # but the mechanism snoops it like a store (Section 3.2).
+        if self.mechanism is not None:
+            self.mechanism.coherence_invalidate(ev.mem_addr)
+
+    def _handle_context_switch(self, ev: TraceEvent, cursor: EventCursor) -> None:
+        self._context_switch()
+
+    def _handle_mark(self, ev: TraceEvent, cursor: EventCursor) -> None:
+        self.marks.append(Mark(ev.tag, self.counters.instructions, self.cycles))
 
     # -------------------------------------------------------- branch kinds
 
@@ -532,6 +719,87 @@ class CPU:
             self.mechanism.on_context_switch()
             self.counters.abtb_flushes += self.mechanism.abtb.flushes - flushes_before
 
+    # --------------------------------------------------------- SimComponent
+    #
+    # The CPU is itself a component: its snapshot is the composition of
+    # its parts plus the cycle clock and the mark stream.
+
+    def snapshot(self) -> dict:
+        """Complete machine state as a JSON-safe dict.
+
+        Mark tags that are tuples are serialised as lists and converted
+        back to tuples by :meth:`restore` — the only tag shapes the
+        workloads emit are flat tuples, strings and None.
+        """
+        self.counters.cycles = self.cycles
+        state: dict = {
+            "version": CPU_SNAPSHOT_VERSION,
+            "components": {
+                name: component.snapshot()
+                for name, component in self.components.items()
+            },
+            "cycles": self.cycles,
+            "marks": [
+                [_encode_tag(m.tag), m.instructions, m.cycles] for m in self.marks
+            ],
+            "mechanism": None,
+        }
+        if self.mechanism is not None:
+            state["mechanism"] = self.mechanism.snapshot()
+        return state
+
+    def restore(self, state: dict) -> None:
+        """Restore a snapshot taken on a compatibly configured CPU."""
+        version = state.get("version")
+        if version != CPU_SNAPSHOT_VERSION:
+            raise ConfigError(
+                f"CPU snapshot version {version!r} unsupported "
+                f"(expected {CPU_SNAPSHOT_VERSION})"
+            )
+        comps = state["components"]
+        missing = set(self.components) - set(comps)
+        extra = set(comps) - set(self.components)
+        if missing or extra:
+            raise ConfigError(
+                f"snapshot component mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(extra)}"
+            )
+        mech_state = state.get("mechanism")
+        if mech_state is not None and self.mechanism is None:
+            raise ConfigError("snapshot carries mechanism state but CPU has none")
+        if mech_state is None and self.mechanism is not None:
+            raise ConfigError("snapshot has no mechanism state but CPU has one")
+        for name, component in self.components.items():
+            component.restore(comps[name])
+        if self.mechanism is not None:
+            self.mechanism.restore(mech_state)
+        self.cycles = float(state["cycles"])
+        self.marks = [
+            Mark(_decode_tag(tag), int(instructions), float(cycles))
+            for tag, instructions, cycles in state["marks"]
+        ]
+
+    def reset(self) -> None:
+        """Cold machine: every component reset, clock zeroed, marks gone."""
+        for component in self.components.values():
+            component.reset()
+        if self.mechanism is not None:
+            self.mechanism.reset()
+        self.cycles = 0.0
+        self.marks = []
+
+    def describe(self) -> dict:
+        """Static description: config plus every component's geometry."""
+        return {
+            "kind": "cpu",
+            "config": self.config.as_dict(),
+            "components": {
+                name: component.describe()
+                for name, component in self.components.items()
+            },
+            "mechanism": self.mechanism.describe() if self.mechanism else None,
+        }
+
     # ----------------------------------------------------------- reporting
 
     def finalize(self) -> PerfCounters:
@@ -541,3 +809,17 @@ class CPU:
             self.counters.abtb_flushes = self.mechanism.abtb.flushes
             self.counters.bloom_store_hits = self.mechanism.stats.store_flushes
         return self.counters
+
+
+def _encode_tag(tag: object) -> object:
+    """JSON-safe mark tag (tuples become tagged lists)."""
+    if isinstance(tag, tuple):
+        return list(tag)
+    return tag
+
+
+def _decode_tag(tag: object) -> object:
+    """Inverse of :func:`_encode_tag` (lists come back as tuples)."""
+    if isinstance(tag, list):
+        return tuple(tag)
+    return tag

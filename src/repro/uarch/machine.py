@@ -1,0 +1,235 @@
+"""Machine-state checkpointing built on the SimComponent protocol.
+
+A :class:`MachineState` is a versioned, JSON-safe capture of one simulated
+core: the CPU/mechanism *configuration* (so a fresh machine can be rebuilt
+from the file alone), the composite component snapshot, and the trace
+position the capture was taken at.
+
+The intended use is warm-up reuse: a run simulates startup + warm-up once,
+captures a checkpoint, and later runs with the *identical machine
+configuration* restore it instead of re-simulating — the trace generator
+is advanced to the same position by draining (see
+:meth:`repro.trace.engine.TraceCursor.drain`), which is far cheaper than
+simulating, and the measurement window then produces counter-for-counter
+identical results.  :class:`CheckpointStore` keys checkpoints by a hash of
+everything that determines warm-up state, so mismatched configurations can
+never share state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.core.config import MechanismConfig
+from repro.core.mechanism import TrampolineSkipMechanism
+from repro.errors import ConfigError
+from repro.uarch.cpu import CPU, CPUConfig
+
+#: Schema version of serialised machine states.
+MACHINE_STATE_VERSION = 1
+
+
+@dataclass
+class MachineState:
+    """One core's complete simulation state, rebuildable from JSON.
+
+    Attributes:
+        version: schema version (:data:`MACHINE_STATE_VERSION`).
+        cpu_config: :meth:`CPUConfig.as_dict` of the captured machine.
+        mechanism_config: mechanism config dict, or None for a base CPU.
+        cpu: the composite :meth:`CPU.snapshot` payload.
+        trace_position: events consumed from the trace when captured.
+        meta: free-form caller context (workload name, warm-up size, ...).
+    """
+
+    cpu_config: dict
+    cpu: dict
+    mechanism_config: dict | None = None
+    trace_position: int = 0
+    meta: dict = field(default_factory=dict)
+    version: int = MACHINE_STATE_VERSION
+
+    # ------------------------------------------------------------- capture
+
+    @classmethod
+    def capture(
+        cls,
+        cpu: CPU,
+        trace_position: int = 0,
+        meta: dict | None = None,
+    ) -> "MachineState":
+        """Snapshot a live CPU (and its mechanism, if any)."""
+        return cls(
+            cpu_config=cpu.config.as_dict(),
+            mechanism_config=(
+                asdict(cpu.mechanism.config) if cpu.mechanism is not None else None
+            ),
+            cpu=cpu.snapshot(),
+            trace_position=trace_position,
+            meta=dict(meta or {}),
+        )
+
+    # ------------------------------------------------------------- restore
+
+    def restore_into(self, cpu: CPU) -> None:
+        """Restore this state into an already-built, matching CPU."""
+        if self.version != MACHINE_STATE_VERSION:
+            raise ConfigError(
+                f"machine state version {self.version!r} unsupported "
+                f"(expected {MACHINE_STATE_VERSION})"
+            )
+        if cpu.config.as_dict() != self.cpu_config:
+            raise ConfigError(
+                "machine state was captured under a different CPUConfig; "
+                "refusing to restore"
+            )
+        mech_cfg = (
+            asdict(cpu.mechanism.config) if cpu.mechanism is not None else None
+        )
+        if mech_cfg != self.mechanism_config:
+            raise ConfigError(
+                "machine state was captured under a different mechanism "
+                "configuration; refusing to restore"
+            )
+        cpu.restore(self.cpu)
+
+    def build_cpu(self, hooks=None, registry=None) -> CPU:
+        """Rebuild a fresh CPU from the stored configs and restore into it."""
+        config = CPUConfig.from_dict(self.cpu_config)
+        mechanism = None
+        if self.mechanism_config is not None:
+            mechanism = TrampolineSkipMechanism(MechanismConfig(**self.mechanism_config))
+        cpu = CPU(config, mechanism=mechanism, hooks=hooks, registry=registry)
+        self.restore_into(cpu)
+        return cpu
+
+    # --------------------------------------------------------- persistence
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, so equal states serialise equally)."""
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MachineState":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"machine state is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ConfigError(f"machine state must be a JSON object, got {type(data).__name__}")
+        known = {"version", "cpu_config", "mechanism_config", "cpu", "trace_position", "meta"}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(f"unknown machine-state field(s): {sorted(unknown)}")
+        state = cls(**data)
+        if state.version != MACHINE_STATE_VERSION:
+            raise ConfigError(
+                f"machine state version {state.version!r} unsupported "
+                f"(expected {MACHINE_STATE_VERSION})"
+            )
+        return state
+
+    def save(self, path: str | Path) -> Path:
+        """Atomically write the state as JSON (validated round-trip first)."""
+        self.validate_roundtrip()
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(self.to_json())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "MachineState":
+        return cls.from_json(Path(path).read_text())
+
+    # ---------------------------------------------------------- validation
+
+    def validate_roundtrip(self) -> None:
+        """Prove the state survives JSON and restores bit-for-bit.
+
+        Serialises to JSON, rebuilds a fresh machine from the parsed copy,
+        and compares its re-taken snapshot against the original payload.
+        Raises :class:`ConfigError` on any divergence — a checkpoint that
+        fails this must never be written to disk.
+        """
+        clone = MachineState.from_json(self.to_json())
+        cpu = clone.build_cpu()
+        retaken = cpu.snapshot()
+        original = json.loads(json.dumps(self.cpu))  # normalise tuples → lists
+        if retaken != original:
+            diverged = [
+                name
+                for name in original.get("components", {})
+                if retaken.get("components", {}).get(name)
+                != original["components"].get(name)
+            ]
+            raise ConfigError(
+                f"machine state failed round-trip validation "
+                f"(diverging components: {diverged or 'top-level fields'})"
+            )
+
+
+def machine_key(**parts) -> str:
+    """Stable identity hash over everything that determines machine state.
+
+    Callers pass the full recipe — workload config, link mode, CPU config,
+    mechanism config, warm-up sizes — as JSON-safe values; any difference
+    yields a different key, so checkpoints can never be shared across
+    configurations that would diverge.
+    """
+    canonical = json.dumps(parts, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:24]
+
+
+class CheckpointStore:
+    """A directory of machine-state checkpoints keyed by config hash.
+
+    Writes are atomic, so concurrent campaign workers that race to produce
+    the same checkpoint simply last-write-wins with identical content.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.machine.json"
+
+    def load(self, key: str) -> MachineState | None:
+        """The stored state for ``key``, or None (corrupt files count as misses)."""
+        path = self.path(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            state = MachineState.load(path)
+        except (OSError, ValueError, ConfigError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return state
+
+    def save(self, key: str, state: MachineState) -> Path:
+        self.writes += 1
+        return state.save(self.path(key))
+
+    def keys(self) -> list[str]:
+        if not self.root.exists():
+            return []
+        return sorted(p.name[: -len(".machine.json")] for p in self.root.glob("*.machine.json"))

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.errors import ConfigError
+from repro.uarch.component import check_geometry
 
 
 class GsharePredictor:
@@ -46,6 +47,47 @@ class GsharePredictor:
         """Clear the global history register (context switch)."""
         self._history = 0
 
+    # --------------------------------------------------------- SimComponent
+
+    def snapshot(self) -> dict:
+        """Counter table, history register and stats, JSON-safe."""
+        return {
+            "table_entries": len(self._table),
+            "history_mask": self._history_mask,
+            "table": list(self._table),
+            "history": self._history,
+            "predictions": self.predictions,
+            "mispredictions": self.mispredictions,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a snapshot taken on an identically shaped predictor."""
+        check_geometry(
+            "gshare",
+            state,
+            table_entries=len(self._table),
+            history_mask=self._history_mask,
+        )
+        self._table = bytearray(state["table"])
+        self._history = int(state["history"])
+        self.predictions = int(state["predictions"])
+        self.mispredictions = int(state["mispredictions"])
+
+    def reset(self) -> None:
+        """Weakly-taken counters, cleared history, zeroed stats."""
+        self._table = bytearray([2] * len(self._table))
+        self._history = 0
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def describe(self) -> dict:
+        """Static geometry."""
+        return {
+            "kind": "gshare",
+            "table_entries": len(self._table),
+            "history_bits": self._history_mask.bit_length(),
+        }
+
 
 class ReturnAddressStack:
     """Fixed-depth RAS; overflows wrap, underflows mispredict."""
@@ -79,3 +121,34 @@ class ReturnAddressStack:
     def clear(self) -> None:
         """Empty the stack (context switch)."""
         self._stack.clear()
+
+    # --------------------------------------------------------- SimComponent
+
+    def snapshot(self) -> dict:
+        """Stack contents and stats, JSON-safe."""
+        return {
+            "depth": self.depth,
+            "stack": list(self._stack),
+            "pushes": self.pushes,
+            "pops": self.pops,
+            "mispredictions": self.mispredictions,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a snapshot taken on a RAS of the same depth."""
+        check_geometry("RAS", state, depth=self.depth)
+        self._stack = [int(v) for v in state["stack"]]
+        self.pushes = int(state["pushes"])
+        self.pops = int(state["pops"])
+        self.mispredictions = int(state["mispredictions"])
+
+    def reset(self) -> None:
+        """Empty stack, zeroed stats."""
+        self._stack.clear()
+        self.pushes = 0
+        self.pops = 0
+        self.mispredictions = 0
+
+    def describe(self) -> dict:
+        """Static geometry."""
+        return {"kind": "ras", "depth": self.depth}

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.errors import ConfigError
 from repro.memory.pages import PAGE_SHIFT
+from repro.uarch.component import check_geometry, decode_table, encode_table
 
 
 class TLB:
@@ -64,6 +65,53 @@ class TLB:
         """Invalidate all translations (a context switch without ASIDs)."""
         for entries in self._sets:
             entries.clear()
+
+    # --------------------------------------------------------- SimComponent
+
+    def snapshot(self) -> dict:
+        """Complete residency/LRU state plus stats, JSON-safe."""
+        return {
+            "name": self.name,
+            "n_sets": self.n_sets,
+            "ways": self.ways,
+            "page_shift": self._page_shift,
+            "sets": [encode_table(entries) for entries in self._sets],
+            "stamp": self._stamp,
+            "accesses": self.accesses,
+            "misses": self.misses,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a snapshot taken on an identically shaped TLB."""
+        check_geometry(
+            self.name,
+            state,
+            n_sets=self.n_sets,
+            ways=self.ways,
+            page_shift=self._page_shift,
+        )
+        self._sets = [decode_table(rows) for rows in state["sets"]]
+        self._stamp = int(state["stamp"])
+        self.accesses = int(state["accesses"])
+        self.misses = int(state["misses"])
+
+    def reset(self) -> None:
+        """Cold TLB: empty sets, zeroed stats."""
+        self.flush()
+        self._stamp = 0
+        self.accesses = 0
+        self.misses = 0
+
+    def describe(self) -> dict:
+        """Static geometry."""
+        return {
+            "kind": "tlb",
+            "name": self.name,
+            "entries": self.n_sets * self.ways,
+            "ways": self.ways,
+            "n_sets": self.n_sets,
+            "page_shift": self._page_shift,
+        }
 
     @property
     def miss_rate(self) -> float:
