@@ -41,14 +41,20 @@ def quick_comparison(
     abtb_entries: int = 256,
     seed: int | None = None,
     obs=None,
+    backend: str = "reference",
 ):
     """Run one workload on the base and enhanced CPUs and compare.
 
     Returns a dict with the two counter bundles, the trampoline skip rate
     and the overall speedup — the package's one-call demo.  Pass an
     :class:`repro.obs.Observability` as ``obs`` to capture traces,
-    metric series and hot-trampoline profiles from both runs.
+    metric series and hot-trampoline profiles from both runs.  ``backend``
+    selects the simulation engine (``"reference"`` or ``"batched"``); an
+    ``obs`` session forces the reference interpreter, whose event-by-event
+    pacing the instrumentation relies on.
     """
+    from repro.uarch.backend import make_runner
+
     module = ALL_WORKLOADS[workload]
     results = {}
     for label, mech in (
@@ -59,11 +65,14 @@ def quick_comparison(
         wl = Workload(cfg)
         hooks = obs.hooks() if obs is not None else None
         cpu = CPU(mechanism=mech, hooks=hooks)
+        run = make_runner(cpu, backend)
+        if obs is not None:
+            run = cpu.run
         stream = wl.trace(n_requests)
         if obs is not None:
             obs.attach_workload(wl)
             stream = obs.instrument(stream, cpu, label)
-        cpu.run(stream)
+        run(stream)
         if obs is not None:
             obs.finish_run(cpu, label)
         results[label] = cpu.finalize()

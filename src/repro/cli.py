@@ -12,7 +12,14 @@ Subcommands:
 * ``chaos`` — seeded fault-injection campaign audited by the stale-target
   correctness oracle (exit 0 iff the campaign verdict is OK);
 * ``campaign`` — hardened (workload × ABTB) sweep with per-run timeout,
-  retry with backoff, and JSON checkpoint/resume.
+  retry with backoff, and JSON checkpoint/resume;
+* ``difftest`` — differential correctness matrix: the batched backend
+  must match the reference interpreter counter-for-counter on every
+  selected workload profile, base and enhanced (exit 0 iff clean).
+
+``compare`` and ``campaign`` accept ``--backend {reference,batched}`` to
+pick the simulation engine; the batched backend is the vectorized hot
+path whose equivalence ``difftest`` enforces.
 
 ``run``, ``compare``, ``profile``, ``chaos`` and ``campaign`` all accept
 the observability flags ``--trace-out``, ``--metrics-out`` and
@@ -83,7 +90,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     obs = Observability.from_flags(args)
-    result = quick_comparison(args.workload, args.requests, args.abtb, obs=obs)
+    result = quick_comparison(
+        args.workload, args.requests, args.abtb, obs=obs, backend=args.backend
+    )
     base, enh = result["base"], result["enhanced"]
     print(f"workload  : {args.workload}")
     print(f"requests  : {args.requests}   ABTB entries: {args.abtb}")
@@ -161,10 +170,33 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         obs=obs,
         jobs=args.jobs,
         machine_cache_dir=args.machine_cache,
+        backend=args.backend,
     )
     print(result.render())
     _report_exports(obs)
     return 0 if result.ok else 1
+
+
+def _cmd_difftest(args: argparse.Namespace) -> int:
+    from repro.difftest import run_matrix
+
+    reports = run_matrix(
+        workloads=args.workloads,
+        abtb_sizes=tuple(args.abtb),
+        requests=args.requests,
+        seed=args.seed,
+        batch_events=args.batch_events,
+    )
+    ok = True
+    for report in reports:
+        print(report.render())
+        ok = ok and report.ok
+    diverged = sum(not r.ok for r in reports)
+    print(
+        f"difftest: {len(reports) - diverged}/{len(reports)} profile(s) identical"
+        + (f", {diverged} DIVERGED" if diverged else "")
+    )
+    return 0 if ok else 1
 
 
 def _cmd_checkpoint(args: argparse.Namespace) -> int:
@@ -279,6 +311,11 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("workload", choices=sorted(ALL_WORKLOADS))
     compare.add_argument("--requests", type=int, default=80)
     compare.add_argument("--abtb", type=int, default=256)
+    compare.add_argument(
+        "--backend", choices=("reference", "batched"), default="reference",
+        help="simulation engine (batched = vectorized hot path; "
+        "identical counters, enforced by 'difftest')",
+    )
     _add_obs_flags(compare)
     compare.set_defaults(func=_cmd_compare)
 
@@ -340,8 +377,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory of warm-machine checkpoints; repeat runs (and the shared "
         "base machine of an ABTB sweep) restore warm-up instead of re-simulating",
     )
+    campaign.add_argument(
+        "--backend", choices=("reference", "batched"), default="reference",
+        help="simulation engine for every pair, serial or sharded",
+    )
     _add_obs_flags(campaign)
     campaign.set_defaults(func=_cmd_campaign)
+
+    difftest = sub.add_parser(
+        "difftest",
+        help="prove the batched backend matches the reference counter-for-counter",
+    )
+    difftest.add_argument(
+        "--workloads",
+        nargs="+",
+        choices=sorted(ALL_WORKLOADS),
+        default=sorted(ALL_WORKLOADS),
+    )
+    difftest.add_argument(
+        "--abtb", type=int, nargs="+", default=[64, 256],
+        help="enhanced-machine ABTB sizes (base is always included)",
+    )
+    difftest.add_argument("--requests", type=int, default=12, help="requests per profile")
+    difftest.add_argument("--seed", type=int, default=None, help="workload seed override")
+    difftest.add_argument(
+        "--batch-events", type=int, default=4096,
+        help="batch size of the fast backend under test",
+    )
+    difftest.set_defaults(func=_cmd_difftest)
 
     checkpoint = sub.add_parser(
         "checkpoint", help="save / inspect / verify machine-state checkpoints"

@@ -39,45 +39,69 @@ class BloomFilter:
         self.hashes = hashes
         self._mask = bits - 1
         self._bitset = 0
-        self._population = 0
+        # Distinct keys currently represented (re-inserting a key the
+        # filter already holds must not grow the population, or the
+        # analytic false-positive estimate drifts from reality).
+        self._keys: set[int] = set()
+        # key -> bit positions; pure function of (key, geometry), so the
+        # cache survives clears.  Bounded defensively: hashing is cheap
+        # enough that a rare full drop is invisible.
+        self._pos_cache: dict[int, list[int]] = {}
         self.adds = 0
         self.queries = 0
         self.hits = 0
 
     def _positions(self, key: int) -> list[int]:
-        h1 = _splitmix64(key)
-        h2 = _splitmix64(h1) | 1  # odd, so double hashing cycles all bits
-        return [((h1 + i * h2) & _MASK64) & self._mask for i in range(self.hashes)]
+        pos = self._pos_cache.get(key)
+        if pos is None:
+            h1 = _splitmix64(key)
+            h2 = _splitmix64(h1) | 1  # odd, so double hashing cycles all bits
+            pos = [((h1 + i * h2) & _MASK64) & self._mask for i in range(self.hashes)]
+            if len(self._pos_cache) >= (1 << 20):
+                self._pos_cache.clear()
+            self._pos_cache[key] = pos
+        return pos
 
     def add(self, key: int) -> None:
-        """Insert a key (a GOT slot address)."""
+        """Insert a key (a GOT slot address).
+
+        Duplicate inserts are idempotent: they set no new bits and leave
+        the population unchanged.
+        """
         self.adds += 1
         for pos in self._positions(key):
             self._bitset |= 1 << pos
-        self._population += 1
+        self._keys.add(key)
 
     def maybe_contains(self, key: int) -> bool:
         """Probe; False is definitive, True may be a false positive."""
         self.queries += 1
-        hit = all((self._bitset >> pos) & 1 for pos in self._positions(key))
-        if hit:
-            self.hits += 1
-        return hit
+        if not self._keys:
+            # The probe is counted (hardware always queries), but an
+            # empty filter has no bits set: the miss is immediate.
+            return False
+        bitset = self._bitset
+        for pos in self._positions(key):
+            if not (bitset >> pos) & 1:
+                return False
+        self.hits += 1
+        return True
 
     def clear(self) -> None:
         """Reset all bits (performed together with an ABTB flush)."""
         self._bitset = 0
-        self._population = 0
+        self._keys.clear()
 
     # --------------------------------------------------------- SimComponent
 
     def snapshot(self) -> dict:
-        """Bitset (hex-encoded) plus population and stats, JSON-safe."""
+        """Bitset (hex-encoded), the key set, and stats, JSON-safe."""
         return {
             "bits": self.bits,
             "hashes": self.hashes,
             "bitset": hex(self._bitset),
-            "population": self._population,
+            "keys": sorted(self._keys),
+            "population": len(self._keys),
             "adds": self.adds,
             "queries": self.queries,
             "hits": self.hits,
@@ -91,8 +115,22 @@ class BloomFilter:
                 f"hashes={state.get('hashes')!r}) does not match instance "
                 f"(bits={self.bits}, hashes={self.hashes})"
             )
-        self._bitset = int(state["bitset"], 16)
-        self._population = int(state["population"])
+        bitset = int(state["bitset"], 16)
+        keys = {int(k) for k in state["keys"]}
+        if int(state["population"]) != len(keys):
+            raise ConfigError(
+                f"bloom: snapshot population {state['population']!r} does "
+                f"not match its {len(keys)} distinct keys"
+            )
+        for key in keys:
+            for pos in self._positions(key):
+                if not (bitset >> pos) & 1:
+                    raise ConfigError(
+                        f"bloom: snapshot bitset is missing bit {pos} for "
+                        f"key {key:#x}"
+                    )
+        self._bitset = bitset
+        self._keys = keys
         self.adds = int(state["adds"])
         self.queries = int(state["queries"])
         self.hits = int(state["hits"])
@@ -115,8 +153,8 @@ class BloomFilter:
 
     @property
     def population(self) -> int:
-        """Keys inserted since the last clear."""
-        return self._population
+        """Distinct keys inserted since the last clear."""
+        return len(self._keys)
 
     @property
     def set_bits(self) -> int:
@@ -126,9 +164,10 @@ class BloomFilter:
     @property
     def false_positive_rate(self) -> float:
         """Analytic false-positive estimate for the current population."""
-        if self._population == 0:
+        population = len(self._keys)
+        if population == 0:
             return 0.0
-        fill = 1.0 - (1.0 - 1.0 / self.bits) ** (self.hashes * self._population)
+        fill = 1.0 - (1.0 - 1.0 / self.bits) ** (self.hashes * population)
         return fill**self.hashes
 
     @property

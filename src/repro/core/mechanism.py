@@ -86,20 +86,28 @@ class TrampolineSkipMechanism:
     # ------------------------------------------------------------- snooping
 
     def snoop_store(self, addr: int) -> bool:
-        """Probe a retired store; flush on a (possibly false) positive."""
+        """Probe a retired store; flush on a (possibly false) positive.
+
+        The filter is probed even when empty — hardware snoops every
+        store, so ``bloom.queries`` must count the probe either way.
+        """
         if not self.config.use_bloom:
             return False
-        if self.bloom.population and self.bloom.maybe_contains(addr):
+        if self.bloom.maybe_contains(addr):
             self._flush()
             self.stats.store_flushes += 1
             return True
         return False
 
     def coherence_invalidate(self, addr: int) -> bool:
-        """Probe an invalidation from the coherence subsystem."""
+        """Probe an invalidation from the coherence subsystem.
+
+        Like :meth:`snoop_store`, the probe is counted even when the
+        filter is empty.
+        """
         if not self.config.use_bloom:
             return False
-        if self.bloom.population and self.bloom.maybe_contains(addr):
+        if self.bloom.maybe_contains(addr):
             self._flush()
             self.stats.coherence_flushes += 1
             return True

@@ -1,0 +1,23 @@
+"""Differential correctness: prove the batched backend equals the reference."""
+
+from repro.difftest.harness import (
+    DEFAULT_ABTB_SIZES,
+    DiffReport,
+    Divergence,
+    diff_backends,
+    difftest_workload,
+    run_matrix,
+    snapshot_diff,
+    workload_events,
+)
+
+__all__ = [
+    "DEFAULT_ABTB_SIZES",
+    "DiffReport",
+    "Divergence",
+    "diff_backends",
+    "difftest_workload",
+    "run_matrix",
+    "snapshot_diff",
+    "workload_events",
+]

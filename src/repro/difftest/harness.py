@@ -1,0 +1,295 @@
+"""Differential-correctness harness: reference vs batched backend.
+
+The batched backend (:mod:`repro.uarch.backend`) claims counter-for-counter
+equivalence with the reference interpreter.  This module *enforces* that
+claim mechanically rather than trusting it:
+
+* :func:`diff_backends` runs the same materialised event stream through a
+  reference CPU and a :class:`~repro.uarch.backend.BatchedBackend`-driven
+  CPU built from the same factory.  At every backend sync point (batch
+  boundary, no lookahead outstanding) the reference machine is advanced to
+  the identical stream position and the two full :meth:`CPU.snapshot`
+  payloads — every counter, every cache/TLB/BTB entry and LRU order, the
+  float cycle clock, mechanism state, marks — are compared field by field.
+* On divergence, the harness *shrinks*: it re-runs both machines from a
+  cold start with ``batch_events=1`` so sync points land after (almost)
+  every event, and reports the minimal event window ``[last-good,
+  first-bad)`` together with the exact snapshot paths that differ.
+* :func:`difftest_workload` / :func:`run_matrix` wrap this in the paper's
+  workload profiles: seeded traces (startup + request window), base and
+  enhanced machines at configurable ABTB sizes.
+
+Reference-side chunking is sound because sync positions are *pair-closed*:
+the backend never reports a sync point between a trampoline pair head and
+its tail (boundary-crossing pairs retire through the fallback before the
+sync fires), so replaying ``events[done:position]`` through the reference
+interpreter cannot split a lookahead window either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import MechanismConfig
+from repro.core.mechanism import TrampolineSkipMechanism
+from repro.errors import ConfigError
+from repro.trace.engine import LinkMode
+from repro.uarch.backend import BatchedBackend
+from repro.uarch.cpu import CPU, CPUConfig
+from repro.workloads import ALL_WORKLOADS
+from repro.workloads.base import Workload
+
+#: ABTB sizes every profile is differentially tested at (besides base).
+DEFAULT_ABTB_SIZES = (64, 256)
+
+
+def snapshot_diff(reference: object, fast: object, path: str = "") -> list[tuple]:
+    """Recursively compare two snapshot payloads.
+
+    Returns ``(path, reference_value, fast_value)`` triples for every leaf
+    that differs.  Floats are compared exactly — the backends promise
+    bit-identical cycle arithmetic, so approximate equality would mask
+    exactly the drift this harness exists to catch.
+    """
+    if isinstance(reference, dict) and isinstance(fast, dict):
+        diffs = []
+        for key in sorted(set(reference) | set(fast), key=str):
+            sub = f"{path}.{key}" if path else str(key)
+            if key not in reference:
+                diffs.append((sub, "<absent>", fast[key]))
+            elif key not in fast:
+                diffs.append((sub, reference[key], "<absent>"))
+            else:
+                diffs.extend(snapshot_diff(reference[key], fast[key], sub))
+        return diffs
+    if isinstance(reference, (list, tuple)) and isinstance(fast, (list, tuple)):
+        if len(reference) != len(fast):
+            return [(f"{path}.len", len(reference), len(fast))]
+        diffs = []
+        for i, (r, f) in enumerate(zip(reference, fast)):
+            diffs.extend(snapshot_diff(r, f, f"{path}[{i}]"))
+        return diffs
+    if reference != fast:
+        return [(path, reference, fast)]
+    return []
+
+
+@dataclass
+class Divergence:
+    """Where and how the two backends came apart."""
+
+    #: Last sync position where the snapshots still matched.
+    last_good: int
+    #: First sync position where they differed.
+    first_bad: int
+    #: Differing snapshot leaves at ``first_bad``: (path, reference, fast).
+    diffs: list[tuple] = field(default_factory=list)
+    #: The minimal event window ``events[last_good:first_bad]`` (reprs),
+    #: after shrinking with single-event batches.
+    window: list[str] = field(default_factory=list)
+    #: False when the single-event-batch re-run did not reproduce the
+    #: divergence (a batch-size-dependent bug); the window is then the
+    #: original batch, not a minimal one.
+    shrunk: bool = True
+
+    def render(self) -> str:
+        head = f"divergence in events [{self.last_good}, {self.first_bad})"
+        if not self.shrunk:
+            head += "  (not reproducible at batch_events=1; window is one full batch)"
+        lines = [head]
+        for ev in self.window[:8]:
+            lines.append(f"  event: {ev}")
+        if len(self.window) > 8:
+            lines.append(f"  ... {len(self.window) - 8} more event(s)")
+        for p, r, f in self.diffs[:20]:
+            lines.append(f"  {p}: reference={r!r} fast={f!r}")
+        if len(self.diffs) > 20:
+            lines.append(f"  ... {len(self.diffs) - 20} more differing field(s)")
+        return "\n".join(lines)
+
+
+@dataclass
+class DiffReport:
+    """Outcome of one differential run."""
+
+    label: str
+    events: int
+    sync_points: int
+    batch_events: int
+    divergence: Divergence | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None
+
+    def render(self) -> str:
+        head = (
+            f"difftest {self.label}: {self.events} events, "
+            f"{self.sync_points} sync point(s), batch={self.batch_events} — "
+        )
+        if self.ok:
+            return head + "identical"
+        return head + "DIVERGED\n" + self.divergence.render()
+
+
+class _ReferenceRunner:
+    """Advances a reference CPU along the shared event list on demand."""
+
+    def __init__(self, cpu: CPU, events: list) -> None:
+        self.cpu = cpu
+        self.events = events
+        self.done = 0
+
+    def run_until(self, target: int) -> None:
+        if target > self.done:
+            self.cpu.run(self.events[self.done : target])
+            self.done = target
+
+
+class _DivergenceFound(Exception):
+    """Internal control flow: stop the fast run at the first bad sync."""
+
+
+def _run_and_compare(
+    events: list, make_cpu, batch_events: int
+) -> tuple[int, tuple[int, int, list] | None]:
+    """One ref-vs-fast pass; returns (sync_points, found).
+
+    ``found`` is ``(last_good, first_bad, diffs)`` or None.  Snapshots are
+    compared at every sync point and once more at end of stream (the final
+    partial batch syncs there too, so this is belt-and-braces for empty
+    streams).
+    """
+    reference = _ReferenceRunner(make_cpu(), events)
+    fast_cpu = make_cpu()
+    backend = BatchedBackend(fast_cpu, batch_events)
+    state = {"syncs": 0, "good": 0, "found": None}
+
+    def sync_hook(position: int) -> None:
+        state["syncs"] += 1
+        reference.run_until(position)
+        diffs = snapshot_diff(reference.cpu.snapshot(), fast_cpu.snapshot())
+        if diffs:
+            state["found"] = (state["good"], position, diffs)
+            raise _DivergenceFound
+        state["good"] = position
+
+    try:
+        backend.run(iter(events), sync_hook=sync_hook)
+    except _DivergenceFound:
+        return state["syncs"], state["found"]
+    reference.run_until(len(events))
+    diffs = snapshot_diff(reference.cpu.snapshot(), fast_cpu.snapshot())
+    if diffs:
+        return state["syncs"], (state["good"], len(events), diffs)
+    return state["syncs"], None
+
+
+def diff_backends(
+    events,
+    make_cpu,
+    batch_events: int = 4096,
+    label: str = "difftest",
+) -> DiffReport:
+    """Differentially run ``events`` through both backends.
+
+    ``make_cpu`` is a zero-argument factory producing identically
+    configured CPUs; it is called twice (reference and fast) and again
+    for the shrinking re-run, so it must not share mutable state between
+    calls.  The stream is materialised once and both machines consume the
+    same list — any divergence is the backend's, never the generator's.
+    """
+    events = list(events)
+    sync_points, found = _run_and_compare(events, make_cpu, batch_events)
+    if found is None:
+        return DiffReport(label, len(events), sync_points, batch_events)
+
+    last_good, first_bad, diffs = found
+    # Shrink: single-event batches make sync points as dense as the
+    # backend allows (trampoline pairs still retire whole), so the first
+    # bad position brackets a minimal window.
+    shrunk = True
+    if batch_events > 1:
+        _, refound = _run_and_compare(events, make_cpu, 1)
+        if refound is not None:
+            last_good, first_bad, diffs = refound
+        else:
+            shrunk = False
+    window = [repr(ev) for ev in events[last_good:first_bad]]
+    return DiffReport(
+        label,
+        len(events),
+        sync_points,
+        batch_events,
+        Divergence(last_good, first_bad, diffs, window, shrunk),
+    )
+
+
+def workload_events(
+    workload: str,
+    requests: int = 12,
+    seed: int | None = None,
+    include_startup: bool = True,
+) -> list:
+    """Materialise one seeded workload slice (startup + request window)."""
+    try:
+        module = ALL_WORKLOADS[workload]
+    except KeyError:
+        raise ConfigError(f"unknown workload {workload!r}") from None
+    cfg = module.config() if seed is None else module.config(seed=seed)
+    wl = Workload(cfg, LinkMode.DYNAMIC)
+    events = list(wl.startup_trace()) if include_startup else []
+    events.extend(wl.trace(requests))
+    return events
+
+
+def difftest_workload(
+    workload: str,
+    abtb_entries: int | None = None,
+    requests: int = 12,
+    seed: int | None = None,
+    batch_events: int = 4096,
+    cpu_config: CPUConfig | None = None,
+) -> DiffReport:
+    """Differential run of one workload profile.
+
+    ``abtb_entries=None`` builds base machines (no mechanism); an integer
+    builds enhanced machines with that ABTB size.
+    """
+    events = workload_events(workload, requests=requests, seed=seed)
+
+    def make_cpu() -> CPU:
+        mechanism = None
+        if abtb_entries is not None:
+            mechanism = TrampolineSkipMechanism(MechanismConfig(abtb_entries=abtb_entries))
+        return CPU(cpu_config, mechanism)
+
+    label = f"{workload}/{'base' if abtb_entries is None else f'abtb={abtb_entries}'}"
+    return diff_backends(events, make_cpu, batch_events=batch_events, label=label)
+
+
+def run_matrix(
+    workloads=None,
+    abtb_sizes=DEFAULT_ABTB_SIZES,
+    requests: int = 12,
+    seed: int | None = None,
+    batch_events: int = 4096,
+) -> list[DiffReport]:
+    """The full correctness matrix: every profile × {base, each ABTB size}.
+
+    This is the gate EXPERIMENTS.md refers to: published numbers may only
+    come from a backend that is difftest-clean on this matrix.
+    """
+    reports = []
+    for name in workloads if workloads is not None else sorted(ALL_WORKLOADS):
+        for abtb in (None, *abtb_sizes):
+            reports.append(
+                difftest_workload(
+                    name,
+                    abtb_entries=abtb,
+                    requests=requests,
+                    seed=seed,
+                    batch_events=batch_events,
+                )
+            )
+    return reports

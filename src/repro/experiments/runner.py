@@ -27,6 +27,7 @@ from repro.core.config import MechanismConfig
 from repro.core.mechanism import TrampolineSkipMechanism
 from repro.errors import ConfigError, ExperimentError
 from repro.trace.engine import LinkMode, TraceCursor
+from repro.uarch.backend import make_runner
 from repro.uarch.counters import PerfCounters
 from repro.uarch.cpu import CPU, CPUConfig
 from repro.uarch.machine import (
@@ -151,6 +152,7 @@ def run_workload(
     obs=None,
     obs_label: str | None = None,
     machine_cache: CheckpointStore | None = None,
+    backend: str = "reference",
 ) -> RunResult:
     """Run startup + warmup, then measure a steady-state window.
 
@@ -171,13 +173,23 @@ def run_workload(
     counter-for-counter identical to an uncached run.  The cache is
     bypassed when ``obs`` is active, because skipping warm-up simulation
     would silently drop its trace spans and counter samples.
+
+    ``backend`` selects the simulation engine (see
+    :data:`repro.uarch.backend.BACKENDS`): ``"reference"`` is the
+    interpreter, ``"batched"`` the vectorized backend, which is
+    counter-for-counter equivalent (enforced by :mod:`repro.difftest`).
+    An ``obs`` session forces the reference path regardless:
+    ``obs.instrument()`` samples counters *between* stream events, and
+    batching would decouple sampling from simulation.
     """
     label = label or ("enhanced" if mechanism else "base")
     obs_label = obs_label or label
     workload = Workload(config, mode)
     hooks = obs.hooks() if obs is not None else None
     cpu = CPU(cpu_config, mechanism, hooks=hooks)
+    run = make_runner(cpu, backend)  # validates the name even when obs wins
     if obs is not None:
+        run = cpu.run
         obs.attach_workload(workload)
 
     use_cache = machine_cache is not None and obs is None
@@ -203,15 +215,15 @@ def run_workload(
         cpu.finalize()
     else:
         if obs is not None:
-            cpu.run(obs.instrument(workload.startup_trace(), cpu, obs_label))
+            run(obs.instrument(workload.startup_trace(), cpu, obs_label))
         else:
-            cpu.run(workload.startup_trace())
+            run(workload.startup_trace())
         workload.reset_usage_stats()  # Table 3 / Fig 4 cover organic execution
         if warmup_requests:
             stream = workload.trace(warmup_requests, include_marks=False)
             if obs is not None:
                 stream = obs.instrument(stream, cpu, obs_label)
-            cpu.run(stream)
+            run(stream)
         cpu.finalize()
         if use_cache and cache_key is not None:
             machine_cache.save(
@@ -232,7 +244,7 @@ def run_workload(
     stream = workload.trace(measured_requests, start_id=warmup_requests)
     if obs is not None:
         stream = obs.instrument(stream, cpu, obs_label)
-    cpu.run(stream)
+    run(stream)
     cpu.finalize()
     if obs is not None:
         obs.finish_run(cpu, obs_label, marks_from=marks_before)
@@ -259,6 +271,7 @@ def run_pair(
     seed: int | None = None,
     obs=None,
     machine_cache: CheckpointStore | None = None,
+    backend: str = "reference",
 ) -> tuple[RunResult, RunResult]:
     """Base vs enhanced over identical traces of a named workload.
 
@@ -266,7 +279,9 @@ def run_pair(
     once per machine configuration and restored thereafter.  The base
     machine's warm-up is independent of the ABTB size, so an ABTB sweep
     re-simulates base warm-up exactly once, and repeated campaigns reuse
-    everything.
+    everything.  ``backend`` is passed through to :func:`run_workload`;
+    warm-machine checkpoints are shareable across backends because the
+    backends are counter-for-counter equivalent.
     """
     try:
         module = ALL_WORKLOADS[workload_name]
@@ -292,7 +307,7 @@ def run_pair(
             run_workload(
                 cfg, mech, warmup, measured, cpu_config,
                 label=label, obs=obs, obs_label=obs_label,
-                machine_cache=machine_cache,
+                machine_cache=machine_cache, backend=backend,
             )
         )
     base, enhanced = results
@@ -587,7 +602,10 @@ def _campaign_worker(task: dict) -> dict:
     )
 
     def run_fn(w, s, n):
-        return run_pair(w, s, abtb_entries=n, obs=obs, machine_cache=cache)
+        return run_pair(
+            w, s, abtb_entries=n, obs=obs, machine_cache=cache,
+            backend=task.get("backend", "reference"),
+        )
 
     outcome = _run_one_pair(
         task["key"], task["workload"], task["scale"], task["abtb"],
@@ -613,6 +631,7 @@ def run_campaign(
     obs=None,
     jobs: int = 1,
     machine_cache_dir: str | Path | None = None,
+    backend: str = "reference",
 ) -> CampaignResult:
     """Sweep (workload × ABTB size) with timeout, retry and checkpointing.
 
@@ -636,7 +655,8 @@ def run_campaign(
 
     ``machine_cache_dir`` holds warm-machine checkpoints shared by all
     workers (see :func:`run_workload`); atomic writes make the racy
-    first-fill benign.
+    first-fill benign.  ``backend`` selects the simulation engine for
+    every pair, serial or sharded (custom ``run_fn`` callables ignore it).
 
     With an ``obs`` session, each pair attempt runs under a host-clock
     trace span and the sweep's progress lands in counters
@@ -654,7 +674,8 @@ def run_campaign(
     parallel = jobs > 1 and run_fn is None and sleep_fn is time.sleep
     if run_fn is None:
         run_fn = lambda w, s, n: run_pair(  # noqa: E731
-            w, s, abtb_entries=n, obs=obs, machine_cache=machine_cache
+            w, s, abtb_entries=n, obs=obs, machine_cache=machine_cache,
+            backend=backend,
         )
     path = Path(checkpoint_path) if checkpoint_path is not None else None
     completed = _load_checkpoint(path) if path is not None else {}
@@ -711,6 +732,7 @@ def run_campaign(
                     "key": key, "workload": workload, "abtb": abtb,
                     "scale": scale, "policy": policy,
                     "obs_spec": obs_spec, "machine_cache_dir": cache_dir,
+                    "backend": backend,
                 },
             ): key
             for key, workload, abtb in tasks

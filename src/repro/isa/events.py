@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.errors import TraceError
-from repro.isa.kinds import DEFAULT_NBYTES, EventKind
+from repro.isa.kinds import DEFAULT_NBYTES, KIND_BY_VALUE, EventKind
 
 
 class TraceEvent:
@@ -161,6 +161,27 @@ def coherence_inval(mem_addr: int) -> TraceEvent:
 def mark(tag: object) -> TraceEvent:
     """A bookkeeping marker (request boundaries, phase labels)."""
     return TraceEvent(EventKind.MARK, 0, 0, 0, tag=tag)
+
+
+def event_from_row(
+    kind: int,
+    pc: int,
+    n_instr: int,
+    nbytes: int,
+    target: int,
+    mem_addr: int,
+    taken: int,
+    tag: object = None,
+) -> TraceEvent:
+    """Rebuild an event from numeric row fields.
+
+    This is the inverse of the columnar packing in
+    :mod:`repro.trace.batch`: ``kind`` is the raw integer value (decoded
+    via one table lookup) and ``taken`` any truthy/falsy integer.
+    """
+    return TraceEvent(
+        KIND_BY_VALUE[kind], pc, n_instr, nbytes, target, mem_addr, taken != 0, tag
+    )
 
 
 def count_instructions(events: Iterator[TraceEvent]) -> int:

@@ -64,6 +64,15 @@ class EventKind(enum.IntEnum):
     COHERENCE_INVAL = 11
 
 
+#: Kinds indexed by their integer value — the event-kind values are
+#: contiguous from 0, so the batched trace representation
+#: (:mod:`repro.trace.batch`) can store a kind as a small integer and
+#: decode it with one list lookup instead of an ``EventKind(...)`` call.
+KIND_BY_VALUE = tuple(sorted(EventKind, key=int))
+
+#: Largest valid event-kind value (batch validation bound).
+MAX_EVENT_KIND = int(KIND_BY_VALUE[-1])
+
 #: Event kinds that transfer control and therefore interact with the branch
 #: prediction hardware.
 BRANCH_KINDS = frozenset(

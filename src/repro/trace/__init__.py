@@ -1,5 +1,6 @@
 """Execution engine and trace utilities."""
 
+from repro.trace.batch import EVENT_DTYPE, TraceBatch, iter_batches
 from repro.trace.engine import (
     CALL_SITE_LEN,
     CallStyle,
@@ -14,9 +15,12 @@ from repro.trace.engine import (
 __all__ = [
     "CALL_SITE_LEN",
     "CallStyle",
+    "EVENT_DTYPE",
     "ExecutionEngine",
     "LinkMode",
+    "TraceBatch",
     "TraceCursor",
+    "iter_batches",
     "PATCH_OVERHEAD_INSTRUCTIONS",
     "RESOLVER_TEXT_BASE",
     "SYMTAB_DATA_BASE",

@@ -1,0 +1,175 @@
+"""Columnar (batched) trace representation.
+
+A :class:`TraceBatch` packs a run of :class:`~repro.isa.events.TraceEvent`
+objects into one numpy structured array plus a small tag table.  The
+batched form is what the vectorized simulation backend
+(:mod:`repro.uarch.backend`) consumes: numeric columns can be shifted and
+masked for a whole batch at once (cache-line and TLB-page indexing), and
+the scalar hot loop then reads plain Python lists instead of touching one
+attribute-heavy event object per step.
+
+The representation is lossless: ``TraceBatch.from_events`` followed by
+:meth:`TraceBatch.to_events` reproduces events that compare equal to the
+originals (kind, addresses, sizes, outcome and tag).  Tags — ``None`` for
+almost every event, strings (``"plt"``, ``"got-store"``) or small tuples
+(request marks) otherwise — are deduplicated into a per-batch side table
+and referenced by index, keeping the array purely numeric.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from operator import attrgetter
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.isa.events import TraceEvent, event_from_row
+from repro.isa.kinds import MAX_EVENT_KIND
+
+# Single-attribute getters: ``np.fromiter(map(getter, events), ...)`` fills
+# a column at C speed, several times faster than building per-event row
+# tuples in Python.
+_GET_KIND = attrgetter("kind")
+_GET_PC = attrgetter("pc")
+_GET_N_INSTR = attrgetter("n_instr")
+_GET_NBYTES = attrgetter("nbytes")
+_GET_TARGET = attrgetter("target")
+_GET_MEM_ADDR = attrgetter("mem_addr")
+_GET_TAKEN = attrgetter("taken")
+_GET_TAG = attrgetter("tag")
+
+#: Structured dtype of one batched event.  Everything is a signed 64-bit
+#: (addresses in the synthetic address space stay far below 2**63), so
+#: mixed-column arithmetic never hits numpy's unsigned-promotion rules.
+#: ``tag`` is an index into the batch's tag table, -1 meaning "no tag".
+EVENT_DTYPE = np.dtype(
+    [
+        ("kind", np.int16),
+        ("pc", np.int64),
+        ("n_instr", np.int64),
+        ("nbytes", np.int64),
+        ("target", np.int64),
+        ("mem_addr", np.int64),
+        ("taken", np.int8),
+        ("tag", np.int32),
+    ]
+)
+
+
+class TraceBatch:
+    """A fixed-size run of trace events in columnar form.
+
+    Attributes:
+        data: structured array of :data:`EVENT_DTYPE`, one row per event.
+        tags: tag table; ``data["tag"]`` holds indexes into it (-1 = None).
+    """
+
+    __slots__ = ("data", "tags")
+
+    def __init__(self, data: np.ndarray, tags: list) -> None:
+        if data.dtype != EVENT_DTYPE:
+            raise TraceError(f"TraceBatch needs EVENT_DTYPE rows, got {data.dtype}")
+        self.data = data
+        self.tags = tags
+
+    @classmethod
+    def from_events(cls, events: Iterable[TraceEvent]) -> "TraceBatch":
+        """Pack events into columnar form (validates event kinds)."""
+        if not isinstance(events, (list, tuple)):
+            events = list(events)
+        m = len(events)
+        data = np.empty(m, dtype=EVENT_DTYPE)
+        tags: list = []
+        if not m:
+            return cls(data, tags)
+        data["kind"] = np.fromiter(map(_GET_KIND, events), np.int16, m)
+        data["pc"] = np.fromiter(map(_GET_PC, events), np.int64, m)
+        data["n_instr"] = np.fromiter(map(_GET_N_INSTR, events), np.int64, m)
+        data["nbytes"] = np.fromiter(map(_GET_NBYTES, events), np.int64, m)
+        data["target"] = np.fromiter(map(_GET_TARGET, events), np.int64, m)
+        data["mem_addr"] = np.fromiter(map(_GET_MEM_ADDR, events), np.int64, m)
+        data["taken"] = np.fromiter(map(_GET_TAKEN, events), np.int8, m)
+        tag_idx: np.ndarray | None = None
+        tag_index: dict = {}
+        for i, tag in enumerate(map(_GET_TAG, events)):
+            if tag is None:
+                continue
+            try:
+                ti = tag_index.get(tag)
+            except TypeError:  # unhashable tag: store without dedup
+                ti = None
+            if ti is None:
+                ti = len(tags)
+                tags.append(tag)
+                try:
+                    tag_index[tag] = ti
+                except TypeError:
+                    pass
+            if tag_idx is None:
+                tag_idx = np.full(m, -1, np.int32)
+            tag_idx[i] = ti
+        if tag_idx is None:
+            data["tag"] = -1
+        else:
+            data["tag"] = tag_idx
+        kinds = data["kind"]
+        lo, hi = int(kinds.min()), int(kinds.max())
+        if lo < 0 or hi > MAX_EVENT_KIND:
+            raise TraceError(
+                f"batch contains event kind outside [0, {MAX_EVENT_KIND}]: "
+                f"min={lo}, max={hi}"
+            )
+        return cls(data, tags)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def tag_of(self, i: int) -> object:
+        """The decoded tag of row ``i`` (None when untagged)."""
+        ti = int(self.data["tag"][i])
+        return None if ti < 0 else self.tags[ti]
+
+    def event(self, i: int) -> TraceEvent:
+        """Materialise row ``i`` back into a :class:`TraceEvent`."""
+        row = self.data[i]
+        return event_from_row(
+            int(row["kind"]),
+            int(row["pc"]),
+            int(row["n_instr"]),
+            int(row["nbytes"]),
+            int(row["target"]),
+            int(row["mem_addr"]),
+            int(row["taken"]),
+            self.tag_of(i),
+        )
+
+    def to_events(self) -> list[TraceEvent]:
+        """Materialise the whole batch (round-trips `==`-equal events)."""
+        return [self.event(i) for i in range(len(self.data))]
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        for i in range(len(self.data)):
+            yield self.event(i)
+
+    @property
+    def nbytes_storage(self) -> int:
+        """Array storage footprint (excludes the Python tag table)."""
+        return int(self.data.nbytes)
+
+
+def iter_batches(
+    events: Iterable[TraceEvent] | Sequence[TraceEvent], batch_events: int = 4096
+) -> Iterator[TraceBatch]:
+    """Cut an event stream into :class:`TraceBatch` chunks of at most
+    ``batch_events`` events (the final batch may be shorter; empty batches
+    are never yielded)."""
+    if batch_events < 1:
+        raise TraceError(f"batch_events must be positive, got {batch_events}")
+    it = iter(events)
+    while True:
+        chunk = list(islice(it, batch_events))
+        if not chunk:
+            return
+        yield TraceBatch.from_events(chunk)

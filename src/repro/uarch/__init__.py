@@ -1,5 +1,6 @@
 """Microarchitectural models: caches, TLBs, branch prediction, CPU."""
 
+from repro.uarch.backend import BACKENDS, BatchedBackend, make_runner
 from repro.uarch.btb import BTB
 from repro.uarch.cache import SetAssociativeCache
 from repro.uarch.component import ComponentRegistry, SimComponent, default_registry
@@ -12,7 +13,9 @@ from repro.uarch.timing import TimingModel
 from repro.uarch.tlb import TLB
 
 __all__ = [
+    "BACKENDS",
     "BTB",
+    "BatchedBackend",
     "CPU",
     "CPUConfig",
     "CPUHooks",
@@ -30,4 +33,5 @@ __all__ = [
     "TimingModel",
     "default_registry",
     "machine_key",
+    "make_runner",
 ]

@@ -23,7 +23,8 @@ class BTB:
         if self.n_sets & (self.n_sets - 1):
             raise ConfigError(f"BTB: set count {self.n_sets} must be a power of two")
         self._set_mask = self.n_sets - 1
-        # Per set: pc -> (target, stamp)
+        # Per set: pc -> (target, stamp), kept in LRU order (least
+        # recently used first) for O(1) eviction; see cache.py.
         self._sets: list[dict[int, tuple[int, int]]] = [dict() for _ in range(self.n_sets)]
         self._stamp = 0
         self.lookups = 0
@@ -42,6 +43,7 @@ class BTB:
             self.misses += 1
             return None
         self._stamp += 1
+        del entries[pc]  # move to MRU position (dict insertion order)
         entries[pc] = (hit[0], self._stamp)
         return hit[0]
 
@@ -50,9 +52,10 @@ class BTB:
         self.updates += 1
         self._stamp += 1
         entries = self._set_for(pc)
-        if pc not in entries and len(entries) >= self.ways:
-            victim = min(entries, key=lambda k: entries[k][1])
-            del entries[victim]
+        if pc in entries:
+            del entries[pc]
+        elif len(entries) >= self.ways:
+            del entries[next(iter(entries))]  # first key is LRU
         entries[pc] = (target, self._stamp)
 
     def peek(self, pc: int) -> int | None:
@@ -90,7 +93,10 @@ class BTB:
         """Restore a snapshot taken on an identically shaped BTB."""
         check_geometry("BTB", state, n_sets=self.n_sets, ways=self.ways)
         self._sets = [
-            {int(pc): (int(target), int(stamp)) for pc, target, stamp in rows}
+            {
+                int(pc): (int(target), int(stamp))
+                for pc, target, stamp in sorted(rows, key=lambda r: r[2])
+            }
             for rows in state["sets"]
         ]
         self._stamp = int(state["stamp"])

@@ -10,6 +10,15 @@ from repro.errors import ConfigError
 from repro.uarch.component import check_geometry, decode_table, encode_table
 
 
+def _in_lru_order(table: dict[int, int]) -> dict[int, int]:
+    """Rebuild a tag→stamp table in LRU order (oldest stamp first).
+
+    The live tables rely on dict insertion order for O(1) eviction;
+    snapshots only guarantee the stamps, so restore re-sorts.
+    """
+    return dict(sorted(table.items(), key=lambda kv: kv[1]))
+
+
 class SetAssociativeCache:
     """A set-associative, LRU, allocate-on-miss cache.
 
@@ -32,7 +41,11 @@ class SetAssociativeCache:
         self._line_shift = line_bytes.bit_length() - 1
         if (1 << self._line_shift) != line_bytes:
             raise ConfigError(f"{name}: line size {line_bytes} must be a power of two")
-        # Per set: dict tag -> last-use stamp. Dicts are tiny (<= ways).
+        # Per set: dict tag -> last-use stamp, kept in LRU order (least
+        # recently used first) so eviction is O(1) instead of a min()
+        # scan.  Hits delete and re-insert their key to move it to the
+        # end; the stamp values are what snapshots persist, so restore
+        # rebuilds the ordering by sorting on them.
         self._sets: list[dict[int, int]] = [dict() for _ in range(self.n_sets)]
         self._stamp = 0
         self.accesses = 0
@@ -46,12 +59,12 @@ class SetAssociativeCache:
         tag = line >> self._set_mask.bit_length() if self._set_mask else line
         entries = self._sets[index]
         if tag in entries:
+            del entries[tag]  # move to MRU position (dict insertion order)
             entries[tag] = self._stamp
             return True
         self.misses += 1
         if len(entries) >= self.ways:
-            victim = min(entries, key=entries.__getitem__)
-            del entries[victim]
+            del entries[next(iter(entries))]  # first key is LRU
         entries[tag] = self._stamp
         return False
 
@@ -86,6 +99,22 @@ class SetAssociativeCache:
         for entries in self._sets:
             entries.clear()
 
+    @property
+    def line_shift(self) -> int:
+        """``log2(line_bytes)`` — byte address → line number shift."""
+        return self._line_shift
+
+    def hot_state(self) -> tuple:
+        """Lookup state for the batched backend's inline hot loop.
+
+        Returns ``(sets, set_mask, tag_shift, ways)``; ``sets`` is the
+        live per-set table list (mutated in place by the caller), and
+        ``tag_shift`` is ``set_mask.bit_length()`` — for a single-set
+        structure the mask is 0, the shift is 0, and ``line >> 0`` equals
+        the whole line, matching :meth:`access_line`'s tag rule.
+        """
+        return (self._sets, self._set_mask, self._set_mask.bit_length(), self.ways)
+
     # --------------------------------------------------------- SimComponent
 
     def snapshot(self) -> dict:
@@ -110,7 +139,7 @@ class SetAssociativeCache:
             ways=self.ways,
             line_bytes=self.line_bytes,
         )
-        self._sets = [decode_table(rows) for rows in state["sets"]]
+        self._sets = [_in_lru_order(decode_table(rows)) for rows in state["sets"]]
         self._stamp = int(state["stamp"])
         self.accesses = int(state["accesses"])
         self.misses = int(state["misses"])

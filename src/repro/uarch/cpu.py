@@ -286,8 +286,9 @@ class EventCursor:
         self._pushed.append(ev)
 
 
-#: Schema version of :meth:`CPU.snapshot` payloads.
-CPU_SNAPSHOT_VERSION = 1
+#: Schema version of :meth:`CPU.snapshot` payloads.  Version 2: the
+#: Bloom filter snapshot carries its distinct-key set.
+CPU_SNAPSHOT_VERSION = 2
 
 
 class CPU:

@@ -30,8 +30,10 @@ from repro.core.mechanism import TrampolineSkipMechanism
 from repro.errors import ConfigError
 from repro.uarch.cpu import CPU, CPUConfig
 
-#: Schema version of serialised machine states.
-MACHINE_STATE_VERSION = 1
+#: Schema version of serialised machine states.  Version 2: embeds the
+#: version-2 CPU snapshot (Bloom filter key set); version-1 checkpoints
+#: are rejected on load, which :class:`CheckpointStore` treats as a miss.
+MACHINE_STATE_VERSION = 2
 
 
 @dataclass

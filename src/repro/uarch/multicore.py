@@ -10,6 +10,19 @@ TLBs, predictors and mechanisms, optionally sharing an L2.  Every store
 one core retires is forwarded to the other core's mechanism as a
 coherence invalidation, so a `dlopen`/`dlclose` (or any GOT rewrite)
 performed by one core safely flushes the sibling's ABTB.
+
+Intra-slice visibility window
+-----------------------------
+
+Execution is interleaved in fixed event slices, and a slice's stores are
+forwarded to the sibling *after* the slice retires.  A store core 0
+retires mid-slice is therefore guaranteed visible (as a coherence
+invalidation) to core 1 before core 1's **next** slice begins, but not
+within core 1's concurrently-modelled slice.  That window is the
+modelling granularity, not a mechanism property: real hardware delivers
+the invalidation at store retirement.  Tests that reason about cross-core
+flush ordering must only assert visibility at slice boundaries
+(``slice_events`` controls the window size).
 """
 
 from __future__ import annotations
@@ -62,8 +75,14 @@ class DualCoreSystem:
     ) -> "DualCoreSystem":
         """Construct two cores sharing one L2 (like the paper's E5450)."""
         cpu0 = CPU(config, mechanisms[0])
-        cpu1 = CPU(config, mechanisms[1])
-        cpu1.l2 = cpu0.l2  # share the second-level cache
+        # Share the L2 through the component registry so cpu1's
+        # ``components`` map (which snapshot/restore/describe iterate)
+        # holds the shared instance.  Assigning ``cpu1.l2 = cpu0.l2``
+        # after construction would only rebind the attribute alias and
+        # leave the stale private L2 registered.
+        registry = cpu0.registry.clone()
+        registry.register("l2", lambda _cfg: cpu0.l2)
+        cpu1 = CPU(config, mechanisms[1], registry=registry)
         return DualCoreSystem((cpu0, cpu1), coherence_filter=coherence_filter)
 
     def run(self, stream0: Iterable[TraceEvent], stream1: Iterable[TraceEvent]) -> None:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.errors import ConfigError
 from repro.memory.pages import PAGE_SHIFT
+from repro.uarch.cache import _in_lru_order
 from repro.uarch.component import check_geometry, decode_table, encode_table
 
 
@@ -37,12 +38,12 @@ class TLB:
         tag = vpn >> self._set_mask.bit_length() if self._set_mask else vpn
         entries = self._sets[index]
         if tag in entries:
+            del entries[tag]  # move to MRU position (dict insertion order)
             entries[tag] = self._stamp
             return True
         self.misses += 1
         if len(entries) >= self.ways:
-            victim = min(entries, key=entries.__getitem__)
-            del entries[victim]
+            del entries[next(iter(entries))]  # first key is LRU
         entries[tag] = self._stamp
         return False
 
@@ -65,6 +66,20 @@ class TLB:
         """Invalidate all translations (a context switch without ASIDs)."""
         for entries in self._sets:
             entries.clear()
+
+    @property
+    def page_shift(self) -> int:
+        """Byte address → virtual page number shift."""
+        return self._page_shift
+
+    def hot_state(self) -> tuple:
+        """Lookup state for the batched backend's inline hot loop.
+
+        Returns ``(sets, set_mask, tag_shift, ways)`` with the same tag
+        rule as :meth:`access_page` (``tag_shift`` is 0 for a single-set
+        TLB, where ``vpn >> 0`` is the full VPN).
+        """
+        return (self._sets, self._set_mask, self._set_mask.bit_length(), self.ways)
 
     # --------------------------------------------------------- SimComponent
 
@@ -90,7 +105,7 @@ class TLB:
             ways=self.ways,
             page_shift=self._page_shift,
         )
-        self._sets = [decode_table(rows) for rows in state["sets"]]
+        self._sets = [_in_lru_order(decode_table(rows)) for rows in state["sets"]]
         self._stamp = int(state["stamp"])
         self.accesses = int(state["accesses"])
         self.misses = int(state["misses"])

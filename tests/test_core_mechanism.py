@@ -34,6 +34,41 @@ class TestBloomFilter:
         assert not bloom.maybe_contains(0x601018)
         assert bloom.population == 0
 
+    def test_duplicate_add_is_idempotent(self):
+        # Regression: ``add`` used to bump the population on every call,
+        # so re-inserting a hot GOT address inflated the analytic
+        # false-positive estimate (the bitset itself never changed).
+        bloom = BloomFilter(4096, 2)
+        for _ in range(5):
+            bloom.add(0x601018)
+        assert bloom.population == 1
+        bits_after_first = bloom.set_bits
+        bloom.add(0x601018)
+        assert bloom.set_bits == bits_after_first
+        bloom.add(0x601020)
+        assert bloom.population == 2
+
+    def test_analytic_fp_estimate_matches_measurement(self):
+        # 150 distinct keys, each inserted twice: duplicates must not
+        # skew the estimate.  The analytic rate (1 - e^{-kn/m})^k and the
+        # measured rate over a large disjoint probe set must agree.
+        bloom = BloomFilter(4096, 2)
+        for i in range(150):
+            key = 0x601000 + 8 * i
+            bloom.add(key)
+            bloom.add(key)
+        assert bloom.population == 150
+        probes = 20_000
+        hits = sum(
+            bloom.maybe_contains(0x40_0000_0000 + 8 * i) for i in range(probes)
+        )
+        measured = hits / probes
+        analytic = bloom.false_positive_rate
+        assert analytic > 0
+        assert abs(measured - analytic) <= 0.35 * analytic + 1e-3, (
+            f"measured {measured:.5f} vs analytic {analytic:.5f}"
+        )
+
     def test_false_positive_estimate_monotone(self):
         small = BloomFilter(256, 2)
         big = BloomFilter(1 << 16, 2)

@@ -4,12 +4,13 @@ from __future__ import annotations
 
 import pytest
 
+from repro.chaos.oracle import CorrectnessOracle
 from repro.core import TrampolineSkipMechanism
 from repro.errors import ConfigError
 from repro.isa.events import block, store
 from repro.uarch import CPU
 from repro.uarch.multicore import DualCoreSystem
-from tests.test_cpu import GOT, plt_call
+from tests.test_cpu import FUNC, GOT, plt_call
 
 
 class TestConstruction:
@@ -17,6 +18,32 @@ class TestConstruction:
         system = DualCoreSystem.with_shared_l2()
         assert system.cpus[0].l2 is system.cpus[1].l2
         assert system.cpus[0].l1i is not system.cpus[1].l1i
+
+    def test_shared_l2_registered_as_component(self):
+        # Regression: ``with_shared_l2`` used to rebind the ``l2``
+        # attribute after construction, leaving cpu1's *registry-built*
+        # private L2 in the components map — so snapshot/restore/describe
+        # silently operated on a stale, cold cache.
+        system = DualCoreSystem.with_shared_l2()
+        cpu0, cpu1 = system.cpus
+        assert cpu1.components["l2"] is cpu0.l2
+
+    def test_shared_l2_snapshot_restore_roundtrip(self):
+        system = DualCoreSystem.with_shared_l2()
+        cpu0, cpu1 = system.cpus
+        system.run([block(0x4000, 8), block(0x8000, 4)], [block(0x4000, 8)])
+        system.finalize()
+        snap0, snap1 = cpu0.snapshot(), cpu1.snapshot()
+        # Both cores' snapshots must carry the live shared L2 — with
+        # traffic in it — not an untouched private one.
+        assert snap1["components"]["l2"] == snap0["components"]["l2"]
+        assert snap1["components"]["l2"]["accesses"] > 0
+        fresh = DualCoreSystem.with_shared_l2()
+        fresh.cpus[0].restore(snap0)
+        fresh.cpus[1].restore(snap1)
+        assert fresh.cpus[0].l2 is fresh.cpus[1].l2
+        assert fresh.cpus[1].snapshot() == snap1
+        assert fresh.cpus[0].snapshot() == snap0
 
     def test_bad_slice_rejected(self):
         with pytest.raises(ConfigError):
@@ -74,3 +101,74 @@ class TestCoherence:
         c0, c1 = system.finalize()
         assert c0.l2_misses == 1
         assert c1.l2_misses == 0
+
+
+NEW_FUNC = FUNC + 0x4_0000
+
+
+class TestCrossSliceStoreVisibility:
+    """The module's visibility contract, audited by the stale-target oracle.
+
+    A GOT store retired *mid-slice* by core 0 must flush core 1's ABTB
+    before core 1's **next** slice begins (see the module docstring's
+    "Intra-slice visibility window" section — visibility inside the
+    concurrently-modelled slice is not promised, only at boundaries).
+    """
+
+    def _streams(self):
+        # Core 0: one filler slice, then a slice with the GOT rewrite in
+        # the middle (event 4 of 8) — retired mid-slice by construction.
+        stream0 = (
+            [block(0x9000 + 64 * i, 2) for i in range(8)]
+            + [block(0xA000 + 64 * i, 2) for i in range(4)]
+            + [store(0xA400, GOT)]
+            + [block(0xB000 + 64 * i, 2) for i in range(3)]
+        )
+        # Core 1: slices of PLT calls (slice_events=8 = two 4-event
+        # calls).  Slice 0 runs before the rewrite and targets FUNC;
+        # slice 1 onward runs after core 0's store slice, so the trace
+        # legitimately targets the rewritten NEW_FUNC.
+        stream1 = plt_call() * 2
+        for _ in range(6):
+            stream1 += plt_call(NEW_FUNC)
+        return stream0, stream1
+
+    def _system(self, oracle, coherence_filter=None):
+        mech = TrampolineSkipMechanism()
+        core0 = CPU(hooks=oracle)  # the storer: oracle tracks GOT truth
+        core1 = CPU(mechanism=mech, hooks=oracle)
+        system = DualCoreSystem(
+            (core0, core1), slice_events=8, coherence_filter=coherence_filter
+        )
+        return system, mech
+
+    def test_store_visible_before_next_slice(self, tiny_program):
+        oracle = CorrectnessOracle(tiny_program, raise_on_violation=True)
+        oracle.register_slot(GOT, FUNC)
+        oracle.queue_truth(GOT, NEW_FUNC)
+        system, mech = self._system(oracle)
+        stream0, stream1 = self._streams()
+        system.run(stream0, stream1)  # oracle raises on a stale skip
+        assert system.invalidations_delivered[1] == 1
+        assert mech.stats.coherence_flushes == 1
+        assert mech.stats.unsafe_skips == 0
+        assert oracle.clean
+        assert oracle.skips_checked > 0
+        # After the boundary flush, the mechanism relearns NEW_FUNC and
+        # resumes skipping — the flush cost is one executed trampoline.
+        counters = system.finalize()[1]
+        assert counters.trampolines_skipped >= 4
+
+    def test_lost_invalidation_is_the_hazard(self, tiny_program):
+        # Teeth check: drop the coherence delivery and the very same
+        # streams must produce the stale-target hazard the oracle exists
+        # to catch — proving the passing test above is load-bearing.
+        oracle = CorrectnessOracle(tiny_program)
+        oracle.register_slot(GOT, FUNC)
+        oracle.queue_truth(GOT, NEW_FUNC)
+        system, mech = self._system(oracle, coherence_filter=lambda core, ev: False)
+        stream0, stream1 = self._streams()
+        system.run(stream0, stream1)
+        assert system.invalidations_dropped[1] == 1
+        assert mech.stats.unsafe_skips > 0
+        assert not oracle.clean

@@ -389,3 +389,37 @@ class TestCounterHelpers:
             counters.rate("bogus")
         with pytest.raises(ValueError, match="unknown counter field"):
             counters.rate("got_loads", per="bogus")
+
+
+class TestBloomQueryAccounting:
+    """``bloom.queries`` must count every snoop probe, empty filter or not.
+
+    Regression: ``snoop_store``/``coherence_invalidate`` used to gate the
+    probe on ``self.bloom.population and ...``, so every store retired
+    while the filter was empty (the common steady state after a flush)
+    vanished from the query counter and any probe-rate series built on it
+    undercounted.  Hardware snoops every store; the counter must too.
+    """
+
+    def test_snoop_store_counts_empty_filter_probe(self):
+        mech = TrampolineSkipMechanism(MechanismConfig(abtb_entries=16))
+        assert mech.bloom.population == 0
+        mech.snoop_store(0x601018)
+        assert mech.bloom.queries == 1
+        assert mech.stats.store_flushes == 0  # probed, not flushed
+
+    def test_coherence_invalidate_counts_empty_filter_probe(self):
+        mech = TrampolineSkipMechanism(MechanismConfig(abtb_entries=16))
+        mech.coherence_invalidate(0x601018)
+        assert mech.bloom.queries == 1
+        assert mech.stats.coherence_flushes == 0
+
+    def test_queries_accumulate_across_flush(self):
+        mech = TrampolineSkipMechanism(MechanismConfig(abtb_entries=16))
+        mech.learn(0x400100, 0x401020, 0x7F0000_0000, 0x601018)
+        mech.snoop_store(0x601018)  # populated probe: hit + flush
+        assert mech.stats.store_flushes == 1
+        queries_at_flush = mech.bloom.queries
+        mech.snoop_store(0x601018)  # filter now empty — still a probe
+        mech.snoop_store(0x999999)
+        assert mech.bloom.queries == queries_at_flush + 2
