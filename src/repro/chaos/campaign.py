@@ -320,9 +320,17 @@ class CampaignReport:
         return "\n".join(lines)
 
 
-def run_campaign(cfg: CampaignConfig = CampaignConfig(), obs=None) -> CampaignReport:
+def run_campaign(
+    cfg: CampaignConfig = CampaignConfig(), obs=None, recorder=None
+) -> CampaignReport:
     """Run seeded rounds (cycling workloads, one dual-core round per
-    cycle) until at least ``min_faults`` injections landed."""
+    cycle) until at least ``min_faults`` injections landed.
+
+    ``recorder`` (an :class:`~repro.resilience.incidents.IncidentRecorder`)
+    turns every oracle violation and missed corruption detection into a
+    structured incident, so chaos findings land in the same log as
+    supervisor and integrity anomalies.
+    """
     plan: list[tuple[str, bool]] = [(w, False) for w in cfg.workloads]
     plan.append((cfg.workloads[0], True))
     runs: list[ChaosRunResult] = []
@@ -352,9 +360,31 @@ def run_campaign(cfg: CampaignConfig = CampaignConfig(), obs=None) -> CampaignRe
         runs.append(run)
         total += run.injected
         rounds += 1
-    return CampaignReport(
+    report = CampaignReport(
         runs=runs,
         corruption=run_corruption_trials(),
         use_bloom=cfg.use_bloom,
         expect_hazards=not cfg.use_bloom and not cfg.software_invalidate,
     )
+    if recorder is not None:
+        from repro.resilience.incidents import IncidentKind
+
+        for run in report.runs:
+            if run.violations and not report.expect_hazards:
+                recorder.record(
+                    IncidentKind.ORACLE_VIOLATION,
+                    f"chaos run {run.label}: {run.violations} committed "
+                    f"skip(s) to a stale target"
+                    + (f" — first: {run.first_violation}" if run.first_violation else ""),
+                    label=run.label,
+                    violations=run.violations,
+                )
+        for kind, detected in report.corruption.items():
+            if not detected:
+                recorder.record(
+                    IncidentKind.ORACLE_VIOLATION,
+                    f"corruption trial {kind!r} was NOT detected by the "
+                    f"integrity machinery",
+                    trial=kind,
+                )
+    return report

@@ -12,10 +12,17 @@ Subcommands:
 * ``chaos`` — seeded fault-injection campaign audited by the stale-target
   correctness oracle (exit 0 iff the campaign verdict is OK);
 * ``campaign`` — hardened (workload × ABTB) sweep with per-run timeout,
-  retry with backoff, and JSON checkpoint/resume;
+  retry with backoff, and integrity-checked checkpoint/resume; with
+  ``--supervise`` the shards run under the self-healing supervisor
+  (heartbeats, hang detection, requeue, quarantine, salvage) and the
+  command exits 0 when complete, 3 when complete-but-degraded
+  (quarantined shards, partial manifest), 1 on failure;
 * ``difftest`` — differential correctness matrix: the batched backend
   must match the reference interpreter counter-for-counter on every
-  selected workload profile, base and enhanced (exit 0 iff clean).
+  selected workload profile, base and enhanced (exit 0 iff clean);
+* ``incidents`` — validate and summarise a JSONL incident log produced
+  by ``campaign --incidents-out`` (exit 0 iff schema-valid and every
+  ``--require`` kind is present).
 
 ``compare`` and ``campaign`` accept ``--backend {reference,batched}`` to
 pick the simulation engine; the batched backend is the vectorized hot
@@ -158,9 +165,56 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _parse_fault_spec(spec: str | None) -> tuple[str, int]:
+    """``MATCH[:N]`` → (match, attempts); N defaults to 1."""
+    if not spec:
+        return "", 0
+    match, sep, count = spec.rpartition(":")
+    if sep and count.isdigit():
+        return match, int(count)
+    return spec, 1
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.resilience import (
+        FaultPlan,
+        IncidentRecorder,
+        SupervisorPolicy,
+        WatchdogPolicy,
+    )
+
     scale = PAPER if args.scale == "paper" else SMOKE
     obs = Observability.from_flags(args)
+
+    want_recorder = bool(
+        args.supervise or args.incidents_out or args.manifest or args.watchdog_every
+    )
+    recorder = None
+    if want_recorder:
+        recorder = obs.incident_recorder() if obs is not None else IncidentRecorder()
+
+    kill_match, kill_attempts = _parse_fault_spec(args.chaos_kill)
+    hang_match, hang_attempts = _parse_fault_spec(args.chaos_hang)
+    fault_plan = None
+    if kill_match or hang_match or args.chaos_diverge:
+        fault_plan = FaultPlan(
+            kill_match=kill_match,
+            kill_attempts=kill_attempts,
+            kill_after_spill=args.chaos_kill_after_spill,
+            hang_match=hang_match,
+            hang_attempts=hang_attempts,
+            diverge_match=args.chaos_diverge or "",
+        )
+    watchdog = (
+        WatchdogPolicy(check_every=args.watchdog_every) if args.watchdog_every else None
+    )
+    supervisor_policy = None
+    if args.supervise:
+        supervisor_policy = SupervisorPolicy(
+            shard_deadline_s=args.shard_deadline,
+            max_shard_failures=args.max_shard_failures,
+        )
+
     result = run_campaign(
         args.workloads,
         scale,
@@ -171,10 +225,58 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         machine_cache_dir=args.machine_cache,
         backend=args.backend,
+        recorder=recorder,
+        supervise=args.supervise,
+        supervisor_policy=supervisor_policy,
+        fault_plan=fault_plan,
+        manifest_path=args.manifest,
+        watchdog=watchdog,
     )
     print(result.render())
+    if recorder is not None and args.incidents_out:
+        recorder.write_jsonl(args.incidents_out)
+        print(
+            f"incidents: wrote {args.incidents_out} ({len(recorder)} record(s))",
+            file=sys.stderr,
+        )
+    if args.manifest:
+        print(f"manifest: wrote {args.manifest}", file=sys.stderr)
     _report_exports(obs)
-    return 0 if result.ok else 1
+    if result.failed:
+        return 1
+    if result.degraded:
+        return 3  # completed, but quarantined shards are missing
+    return 0
+
+
+def _cmd_incidents(args: argparse.Namespace) -> int:
+    from repro.resilience import validate_incident_log
+    from repro.resilience.incidents import load_incident_log
+
+    problems = validate_incident_log(args.path)
+    if problems:
+        for problem in problems:
+            print(f"{args.path}: {problem}", file=sys.stderr)
+        print(f"incidents: INVALID ({len(problems)} problem(s))")
+        return 1
+    incidents = load_incident_log(args.path)
+    counts: dict[str, int] = {}
+    for incident in incidents:
+        counts[incident.kind] = counts.get(incident.kind, 0) + 1
+    if args.json:
+        print(json.dumps({"total": len(incidents), "counts": counts}, indent=2, sort_keys=True))
+    else:
+        print(f"incidents: {len(incidents)} record(s), schema valid")
+        for kind, count in sorted(counts.items()):
+            print(f"  {kind:<28} {count}")
+        if args.verbose:
+            for incident in incidents:
+                print(f"  [{incident.severity}] {incident.kind}: {incident.message}")
+    missing = [kind for kind in args.require if kind not in counts]
+    if missing:
+        print(f"incidents: required kind(s) missing: {', '.join(missing)}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_difftest(args: argparse.Namespace) -> int:
@@ -381,6 +483,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=("reference", "batched"), default="reference",
         help="simulation engine for every pair, serial or sharded",
     )
+    resilience = campaign.add_argument_group("resilience")
+    resilience.add_argument(
+        "--supervise", action="store_true",
+        help="run shards under the self-healing supervisor: heartbeats, hang "
+        "detection, kill-and-requeue with backoff, quarantine, spill salvage "
+        "(exit 3 = completed degraded)",
+    )
+    resilience.add_argument(
+        "--shard-deadline", type=float, default=120.0, metavar="SECONDS",
+        help="heartbeat silence after which a supervised worker is declared "
+        "hung and killed [default: 120]",
+    )
+    resilience.add_argument(
+        "--max-shard-failures", type=int, default=3, metavar="N",
+        help="process-level failures before a shard is quarantined [default: 3]",
+    )
+    resilience.add_argument(
+        "--incidents-out", default=None, metavar="PATH",
+        help="write the campaign's incident log as JSON lines (see 'incidents')",
+    )
+    resilience.add_argument(
+        "--manifest", default=None, metavar="PATH",
+        help="write an integrity-checked end-of-campaign manifest "
+        "(partial results, quarantined shards, incident counts)",
+    )
+    resilience.add_argument(
+        "--watchdog-every", type=int, default=0, metavar="N",
+        help="with --backend batched: cross-check against the reference "
+        "interpreter every N sync points; on divergence, record an incident "
+        "and fall back to the reference backend (0 disables)",
+    )
+    resilience.add_argument(
+        "--chaos-kill", default=None, metavar="MATCH[:N]",
+        help="fault injection (tests/CI): SIGKILL the worker of shards whose "
+        "key contains MATCH on their first N attempts [default N: 1]",
+    )
+    resilience.add_argument(
+        "--chaos-kill-after-spill", action="store_true",
+        help="with --chaos-kill: kill after the spill checkpoint is written, "
+        "exercising salvage instead of requeue",
+    )
+    resilience.add_argument(
+        "--chaos-hang", default=None, metavar="MATCH[:N]",
+        help="fault injection: wedge the worker of matching shards "
+        "(no heartbeats) on their first N attempts",
+    )
+    resilience.add_argument(
+        "--chaos-diverge", default=None, metavar="MATCH",
+        help="fault injection: force a watchdog divergence on matching shards "
+        "(requires --backend batched and --watchdog-every)",
+    )
     _add_obs_flags(campaign)
     campaign.set_defaults(func=_cmd_campaign)
 
@@ -405,6 +558,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="batch size of the fast backend under test",
     )
     difftest.set_defaults(func=_cmd_difftest)
+
+    incidents = sub.add_parser(
+        "incidents", help="validate and summarise a JSONL incident log"
+    )
+    incidents.add_argument("path", help="incident log written by campaign --incidents-out")
+    incidents.add_argument("--json", action="store_true", help="machine-readable output")
+    incidents.add_argument(
+        "--verbose", action="store_true", help="print every incident message"
+    )
+    incidents.add_argument(
+        "--require", action="append", default=[], metavar="KIND",
+        help="exit 1 unless at least one incident of KIND is present (repeatable)",
+    )
+    incidents.set_defaults(func=_cmd_incidents)
 
     checkpoint = sub.add_parser(
         "checkpoint", help="save / inspect / verify machine-state checkpoints"

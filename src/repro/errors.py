@@ -37,6 +37,23 @@ class TraceError(ReproError):
     """Malformed trace event stream."""
 
 
+class TraceCorruptionError(TraceError):
+    """A serialised trace artifact failed to decode.
+
+    Raised by the binary trace codec (:mod:`repro.trace.batch`) and the
+    row decoder (:func:`repro.isa.events.event_from_row`) instead of the
+    opaque ``KeyError`` / ``struct.error`` a naive decode would surface.
+    ``offset`` is the byte offset of the corruption when it is known
+    (-1 otherwise); ``row`` the event index, when the corruption is
+    attributable to one row.
+    """
+
+    def __init__(self, message: str, offset: int = -1, row: int = -1) -> None:
+        super().__init__(message)
+        self.offset = offset
+        self.row = row
+
+
 class ExperimentError(ReproError):
     """An experiment was misconfigured or produced inconsistent output."""
 
@@ -52,3 +69,50 @@ class OracleViolation(ChaosError):
     Section 3.2 safety argument); raising it means the modelled hardware —
     or the model itself — is broken.
     """
+
+
+# ----------------------------------------------------------- resilience
+#
+# The self-healing campaign layer (src/repro/resilience/) classifies its
+# failures with this sub-taxonomy.  Every class maps onto an incident
+# kind recorded by repro.resilience.incidents.IncidentRecorder, so log
+# entries and raised exceptions share one vocabulary.
+
+
+class ResilienceError(ReproError):
+    """Base class for failures in the self-healing campaign layer."""
+
+
+class CheckpointCorruptionError(ResilienceError):
+    """An integrity-checked artifact failed validation.
+
+    Covers machine checkpoints, campaign checkpoints, shard spill files
+    and manifests: truncation, bit flips (checksum mismatch), wrong
+    schema name or schema version.  Callers in the resilience layer treat
+    this as "rebuild the artifact" (re-simulate / requeue), never as
+    "trust the bytes".
+    """
+
+    def __init__(self, message: str, path: object = None, reason: str = "corrupt") -> None:
+        super().__init__(message)
+        self.path = path
+        #: Machine-readable cause: ``unreadable | not-json | bad-envelope
+        #: | wrong-schema | wrong-version | checksum-mismatch``.
+        self.reason = reason
+
+
+class SupervisorError(ResilienceError):
+    """The campaign supervisor was misused or hit an internal error."""
+
+
+class WorkerHangError(SupervisorError):
+    """A supervised worker missed its heartbeat deadline and was killed."""
+
+
+class WorkerDeathError(SupervisorError):
+    """A supervised worker process died without delivering its outcome."""
+
+
+class BackendDivergenceError(ResilienceError):
+    """The runtime watchdog caught the fast backend diverging from the
+    reference interpreter (results must fall back, never be published)."""

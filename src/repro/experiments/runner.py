@@ -11,9 +11,7 @@ comparison.
 
 from __future__ import annotations
 
-import json
 import math
-import os
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -25,7 +23,11 @@ import numpy as np
 
 from repro.core.config import MechanismConfig
 from repro.core.mechanism import TrampolineSkipMechanism
-from repro.errors import ConfigError, ExperimentError
+from repro.errors import CheckpointCorruptionError, ConfigError, ExperimentError
+from repro.resilience.incidents import IncidentKind, IncidentRecorder
+from repro.resilience.integrity import read_artifact, write_artifact
+from repro.resilience.supervisor import CampaignSupervisor, FaultPlan, SupervisorPolicy
+from repro.resilience.watchdog import DivergenceWatchdog, WatchdogPolicy
 from repro.trace.engine import LinkMode, TraceCursor
 from repro.uarch.backend import make_runner
 from repro.uarch.counters import PerfCounters
@@ -66,6 +68,14 @@ class RunResult:
     unmatched_marks: int = 0
     #: Request samples discarded for non-finite or negative cycle deltas.
     dropped_samples: int = 0
+    #: Engine that actually produced the window ("reference" | "batched").
+    #: Differs from the requested backend when the divergence watchdog
+    #: fell back mid-run.
+    backend_used: str = "reference"
+    #: True when the divergence watchdog caught the fast backend drifting
+    #: from the reference interpreter; the window then comes from the
+    #: reference shadow machine.
+    diverged: bool = False
 
     def requests_of(self, class_name: str) -> list[RequestSample]:
         """Samples of one request class."""
@@ -153,6 +163,8 @@ def run_workload(
     obs_label: str | None = None,
     machine_cache: CheckpointStore | None = None,
     backend: str = "reference",
+    recorder: IncidentRecorder | None = None,
+    watchdog: WatchdogPolicy | None = None,
 ) -> RunResult:
     """Run startup + warmup, then measure a steady-state window.
 
@@ -181,6 +193,14 @@ def run_workload(
     An ``obs`` session forces the reference path regardless:
     ``obs.instrument()`` samples counters *between* stream events, and
     batching would decouple sampling from simulation.
+
+    ``watchdog`` (a :class:`~repro.resilience.watchdog.WatchdogPolicy`)
+    arms the runtime divergence watchdog when the backend is ``"batched"``:
+    every stream — startup, warm-up and the measurement window — runs
+    under cross-checking against a shadow reference machine, and on
+    divergence the run falls back to the shadow (``diverged`` /
+    ``backend_used`` on the result record what happened; ``recorder``
+    gets the incidents).
     """
     label = label or ("enhanced" if mechanism else "base")
     obs_label = obs_label or label
@@ -191,6 +211,25 @@ def run_workload(
     if obs is not None:
         run = cpu.run
         obs.attach_workload(workload)
+
+    dog = None
+    if (
+        watchdog is not None
+        and watchdog.enabled
+        and backend == "batched"
+        and obs is None
+    ):
+        shadow_mechanism = (
+            TrampolineSkipMechanism(mechanism.config) if mechanism is not None else None
+        )
+        shadow = CPU(cpu_config, shadow_mechanism)
+        dog = DivergenceWatchdog(
+            cpu, shadow, policy=watchdog, recorder=recorder, label=obs_label
+        )
+        run = dog.run
+
+    def active() -> CPU:
+        return dog.active_cpu if dog is not None else cpu
 
     use_cache = machine_cache is not None and obs is None
     cache_key = None
@@ -212,7 +251,11 @@ def run_workload(
         if warmup_requests:
             TraceCursor(workload.trace(warmup_requests, include_marks=False)).drain()
         state.restore_into(cpu)
-        cpu.finalize()
+        if dog is not None:
+            state.restore_into(dog.shadow)
+            dog.finalize()
+        else:
+            cpu.finalize()
     else:
         if obs is not None:
             run(obs.instrument(workload.startup_trace(), cpu, obs_label))
@@ -224,12 +267,15 @@ def run_workload(
             if obs is not None:
                 stream = obs.instrument(stream, cpu, obs_label)
             run(stream)
-        cpu.finalize()
+        if dog is not None:
+            dog.finalize()
+        else:
+            cpu.finalize()
         if use_cache and cache_key is not None:
             machine_cache.save(
                 cache_key,
                 MachineState.capture(
-                    cpu,
+                    active(),
                     meta={
                         "workload": config.name,
                         "mode": mode.value,
@@ -238,27 +284,41 @@ def run_workload(
                     },
                 ),
             )
-    snapshot = cpu.counters.copy()
-    marks_before = len(cpu.marks)
+    # Watchdog invariant: a completed stream leaves primary and shadow
+    # *verified* equal (or the fallback already happened), so the window
+    # snapshot below is valid for whichever machine finishes the run.
+    snapshot = active().counters.copy()
+    marks_before = len(active().marks)
 
     stream = workload.trace(measured_requests, start_id=warmup_requests)
     if obs is not None:
         stream = obs.instrument(stream, cpu, obs_label)
     run(stream)
-    cpu.finalize()
+    if dog is not None:
+        dog.finalize()
+    else:
+        cpu.finalize()
     if obs is not None:
         obs.finish_run(cpu, obs_label, marks_from=marks_before)
-    window = cpu.counters.delta(snapshot)
-    requests, unmatched, dropped = _pair_marks(cpu, marks_before, strict=strict_marks)
+    measured_cpu = active()
+    window = measured_cpu.counters.delta(snapshot)
+    requests, unmatched, dropped = _pair_marks(
+        measured_cpu, marks_before, strict=strict_marks
+    )
     return RunResult(
         label or ("enhanced" if mechanism else "base"),
         window,
         requests,
         workload,
-        cpu,
-        mechanism,
+        measured_cpu,
+        mechanism if measured_cpu is cpu else measured_cpu.mechanism,
         unmatched_marks=unmatched,
         dropped_samples=dropped,
+        backend_used=(
+            dog.backend_used if dog is not None
+            else ("reference" if obs is not None else backend)
+        ),
+        diverged=dog.diverged if dog is not None else False,
     )
 
 
@@ -272,6 +332,8 @@ def run_pair(
     obs=None,
     machine_cache: CheckpointStore | None = None,
     backend: str = "reference",
+    recorder: IncidentRecorder | None = None,
+    watchdog: WatchdogPolicy | None = None,
 ) -> tuple[RunResult, RunResult]:
     """Base vs enhanced over identical traces of a named workload.
 
@@ -308,6 +370,7 @@ def run_pair(
                 cfg, mech, warmup, measured, cpu_config,
                 label=label, obs=obs, obs_label=obs_label,
                 machine_cache=machine_cache, backend=backend,
+                recorder=recorder, watchdog=watchdog,
             )
         )
     base, enhanced = results
@@ -385,7 +448,12 @@ def _pair_marks(
 # completed work), and graceful degradation: a pair that keeps failing is
 # recorded and the sweep moves on.
 
-CHECKPOINT_VERSION = 1
+#: Version 2: campaign checkpoints moved inside the integrity envelope
+#: (schema header + content checksum; see repro.resilience.integrity).
+CHECKPOINT_VERSION = 2
+CHECKPOINT_SCHEMA = "repro.campaign-checkpoint"
+MANIFEST_SCHEMA = "repro.campaign-manifest"
+MANIFEST_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -410,22 +478,37 @@ class CampaignResult:
     failed: dict[str, str] = field(default_factory=dict)
     attempts: dict[str, int] = field(default_factory=dict)
     resumed: int = 0  # pairs skipped because the checkpoint had them
+    #: Shards the supervisor gave up on (key → failure details); the
+    #: campaign still completes, *degraded*, with a partial manifest.
+    quarantined: dict[str, dict] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
-        return not self.failed
+        return not self.failed and not self.quarantined
+
+    @property
+    def degraded(self) -> bool:
+        """Completed, but missing quarantined shards."""
+        return bool(self.quarantined) and not self.failed
 
     def render(self) -> str:
         lines = [
             f"campaign: {len(self.completed)} pair(s) done "
             f"({self.resumed} from checkpoint), {len(self.failed)} failed"
+            + (f", {len(self.quarantined)} quarantined" if self.quarantined else "")
         ]
         for key, summary in sorted(self.completed.items()):
             speedup = summary.get("speedup")
             text = f"{speedup:.4f}x" if isinstance(speedup, float) else "?"
-            lines.append(f"  {key:<42} speedup {text}")
+            flag = "  [diverged->reference]" if summary.get("diverged_backend") else ""
+            lines.append(f"  {key:<42} speedup {text}{flag}")
         for key, reason in sorted(self.failed.items()):
             lines.append(f"  {key:<42} FAILED: {reason}")
+        for key, info in sorted(self.quarantined.items()):
+            lines.append(
+                f"  {key:<42} QUARANTINED after {info.get('failures', '?')} "
+                f"failure(s): {info.get('last_error', '')}"
+            )
         return "\n".join(lines)
 
 
@@ -436,7 +519,7 @@ def pair_key(workload: str, abtb_entries: int, scale_name: str) -> str:
 
 def summarize_pair(base: RunResult, enhanced: RunResult) -> dict:
     """JSON-serialisable summary of one base/enhanced pair."""
-    return {
+    out = {
         "instructions": int(base.counters.instructions),
         "base_cycles": float(base.counters.cycles),
         "enhanced_cycles": float(enhanced.counters.cycles),
@@ -448,32 +531,58 @@ def summarize_pair(base: RunResult, enhanced: RunResult) -> dict:
         "skip_rate": float(enhanced.skip_rate),
         "unmatched_marks": base.unmatched_marks + enhanced.unmatched_marks,
     }
+    if getattr(base, "diverged", False) or getattr(enhanced, "diverged", False):
+        # Only present when the watchdog fell back, so summaries from
+        # healthy runs keep their historical shape byte-for-byte.
+        out["diverged_backend"] = True
+    return out
 
 
-def _load_checkpoint(path: Path) -> dict[str, dict]:
+def _load_checkpoint(
+    path: Path, recorder: IncidentRecorder | None = None
+) -> dict[str, dict]:
+    """Resume state from an integrity-checked campaign checkpoint.
+
+    A corrupt, truncated or wrong-version checkpoint is never trusted.
+    Without a ``recorder`` it raises :class:`ExperimentError` (the
+    historical strict contract: the caller decides whether to delete).
+    With one, the corruption is recorded as a
+    ``campaign_checkpoint_corrupt`` incident and an empty resume state is
+    returned — the affected pairs are simply requeued and re-simulated,
+    which is always safe because pair execution is deterministic.
+    """
     if not path.exists():
         return {}
     try:
-        payload = json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError) as exc:
-        raise ExperimentError(f"unreadable checkpoint {path}: {exc}") from exc
-    if not isinstance(payload, dict) or payload.get("version") != CHECKPOINT_VERSION:
-        raise ExperimentError(
-            f"checkpoint {path} has unsupported format "
-            f"(expected version {CHECKPOINT_VERSION}); delete it to restart"
+        payload = read_artifact(path, CHECKPOINT_SCHEMA, CHECKPOINT_VERSION)
+        completed = payload.get("completed", {})
+        if not isinstance(completed, dict):
+            raise CheckpointCorruptionError(
+                f"checkpoint {path}: 'completed' is not an object",
+                path=path,
+                reason="bad-envelope",
+            )
+    except CheckpointCorruptionError as exc:
+        if recorder is None:
+            raise ExperimentError(
+                f"checkpoint {path} failed integrity validation "
+                f"({exc.reason}): {exc}; delete it to restart"
+            ) from exc
+        recorder.record(
+            IncidentKind.CAMPAIGN_CHECKPOINT_CORRUPT,
+            f"campaign checkpoint {path.name} failed integrity validation "
+            f"({exc.reason}); completed pairs will be re-run",
+            path=str(path),
+            reason=exc.reason,
         )
-    completed = payload.get("completed", {})
-    if not isinstance(completed, dict):
-        raise ExperimentError(f"checkpoint {path}: 'completed' is not an object")
+        return {}
     return completed
 
 
 def _save_checkpoint(path: Path, completed: dict[str, dict]) -> None:
-    """Atomic write: a crash mid-save never corrupts the checkpoint."""
-    payload = {"version": CHECKPOINT_VERSION, "completed": completed}
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
-    os.replace(tmp, path)
+    """Atomic, checksummed write: a crash mid-save never corrupts the
+    checkpoint, and any later corruption is detected on load."""
+    write_artifact(path, {"completed": completed}, CHECKPOINT_SCHEMA, CHECKPOINT_VERSION)
 
 
 def _attempt_with_timeout(fn: Callable[[], object], timeout_s: float | None):
@@ -591,26 +700,39 @@ def _campaign_worker(task: dict) -> dict:
 
     Rebuilds the per-worker obs session and machine cache from picklable
     specs, runs the pair through :func:`_run_one_pair`, and ships the
-    outcome back together with the worker's metric state and trace
-    events for the parent to merge.
+    outcome back together with the worker's metric state, trace events
+    and incident records for the parent to merge.
     """
     obs = _obs_from_spec(task["obs_spec"])
+    recorder = IncidentRecorder(
+        metrics=obs.metrics if obs is not None else None,
+        tracer=obs.tracer if obs is not None else None,
+    )
     cache = (
-        CheckpointStore(task["machine_cache_dir"])
+        CheckpointStore(task["machine_cache_dir"], recorder=recorder)
         if task["machine_cache_dir"] is not None
         else None
     )
+    watchdog = task.get("watchdog")
+    if task.get("force_diverge"):
+        base = watchdog if watchdog is not None else WatchdogPolicy()
+        watchdog = WatchdogPolicy(
+            check_every=base.check_every or WatchdogPolicy().check_every,
+            force_diverge_at_check=1,
+        )
 
     def run_fn(w, s, n):
         return run_pair(
             w, s, abtb_entries=n, obs=obs, machine_cache=cache,
             backend=task.get("backend", "reference"),
+            recorder=recorder, watchdog=watchdog,
         )
 
     outcome = _run_one_pair(
         task["key"], task["workload"], task["scale"], task["abtb"],
         task["policy"], run_fn, time.sleep, obs=obs,
     )
+    outcome["incidents"] = recorder.as_dicts()
     outcome["metrics_state"] = (
         obs.metrics.state_dict() if obs is not None and obs.metrics is not None else None
     )
@@ -632,6 +754,12 @@ def run_campaign(
     jobs: int = 1,
     machine_cache_dir: str | Path | None = None,
     backend: str = "reference",
+    recorder: IncidentRecorder | None = None,
+    supervise: bool = False,
+    supervisor_policy: SupervisorPolicy | None = None,
+    fault_plan: FaultPlan | None = None,
+    manifest_path: str | Path | None = None,
+    watchdog: WatchdogPolicy | None = None,
 ) -> CampaignResult:
     """Sweep (workload × ABTB size) with timeout, retry and checkpointing.
 
@@ -665,20 +793,42 @@ def run_campaign(
     :func:`run_pair` when ``run_fn`` is the default.  Sharded workers
     sample into their own registries/tracers, which are merged into the
     parent session in deterministic pair order.
+
+    ``supervise=True`` replaces the bare process pool with the
+    :class:`~repro.resilience.supervisor.CampaignSupervisor`: per-shard
+    heartbeats, hang detection (``supervisor_policy``), kill-and-requeue
+    with backoff, quarantine of repeatedly failing shards (the campaign
+    then completes *degraded*; see :attr:`CampaignResult.degraded`), and
+    salvage of completed work from dead workers.  ``fault_plan`` injects
+    deterministic worker kills/hangs/divergences for tests and the chaos
+    CI job.  ``recorder`` collects every incident — corrupted campaign
+    checkpoints are then healed (entries requeued) instead of raising.
+    ``watchdog`` arms the backend divergence watchdog in every pair (only
+    meaningful with ``backend="batched"``), and ``manifest_path`` writes
+    an integrity-checked end-of-campaign manifest including quarantined
+    shards and incident counts.
     """
     if jobs < 1:
         raise ConfigError(f"jobs must be >= 1, got {jobs}")
     machine_cache = (
-        CheckpointStore(machine_cache_dir) if machine_cache_dir is not None else None
+        CheckpointStore(machine_cache_dir, recorder=recorder)
+        if machine_cache_dir is not None
+        else None
     )
-    parallel = jobs > 1 and run_fn is None and sleep_fn is time.sleep
+    default_callables = run_fn is None and sleep_fn is time.sleep
+    if supervise and not default_callables:
+        raise ConfigError(
+            "supervise=True requires the default run_fn/sleep_fn "
+            "(worker processes cannot inherit custom callables)"
+        )
+    parallel = jobs > 1 and default_callables and not supervise
     if run_fn is None:
         run_fn = lambda w, s, n: run_pair(  # noqa: E731
             w, s, abtb_entries=n, obs=obs, machine_cache=machine_cache,
-            backend=backend,
+            backend=backend, recorder=recorder, watchdog=watchdog,
         )
     path = Path(checkpoint_path) if checkpoint_path is not None else None
-    completed = _load_checkpoint(path) if path is not None else {}
+    completed = _load_checkpoint(path, recorder) if path is not None else {}
     result = CampaignResult(completed=dict(completed))
 
     scale_name = getattr(scale, "name", str(scale))
@@ -711,6 +861,71 @@ def run_campaign(
         if path is not None:
             _save_checkpoint(path, result.completed)
 
+    def merge_worker_state(outcome: dict) -> None:
+        """Fold a worker's obs/incident state into the parent session."""
+        if obs is not None:
+            if obs.metrics is not None and outcome.get("metrics_state"):
+                obs.metrics.merge_state(outcome["metrics_state"])
+            if obs.tracer is not None and outcome.get("tracer_events"):
+                obs.tracer.events.extend(outcome["tracer_events"])
+        if recorder is not None and outcome.get("incidents"):
+            recorder.extend_dicts(outcome["incidents"])
+
+    def finish() -> CampaignResult:
+        if manifest_path is not None:
+            _write_manifest(manifest_path, result, recorder)
+        return result
+
+    def make_task(key: str, workload: str, abtb: int) -> dict:
+        return {
+            "key": key, "workload": workload, "abtb": abtb,
+            "scale": scale, "policy": policy,
+            "obs_spec": _obs_spec(obs),
+            "machine_cache_dir": (
+                str(machine_cache_dir) if machine_cache_dir is not None else None
+            ),
+            "backend": backend,
+            "watchdog": watchdog,
+            "force_diverge": bool(
+                fault_plan is not None and fault_plan.should_diverge(key)
+            ),
+        }
+
+    # --------------------------------------------------------- supervised
+    if supervise:
+        live: dict[str, dict] = {}
+
+        def on_complete(key: str, outcome: dict) -> None:
+            # Incremental checkpoint the moment a shard lands (completion
+            # order; sorted keys keep the bytes order-independent).
+            if outcome.get("failed") is None and outcome.get("summary") is not None:
+                live[key] = outcome["summary"]
+                if path is not None:
+                    staged = dict(result.completed)
+                    staged.update(live)
+                    _save_checkpoint(path, staged)
+
+        supervisor = CampaignSupervisor(
+            _campaign_worker,
+            [(key, make_task(key, workload, abtb)) for key, workload, abtb in tasks],
+            jobs=jobs,
+            policy=supervisor_policy,
+            recorder=recorder,
+            fault_plan=fault_plan,
+            spill_dir=path.parent / f"{path.name}.spill" if path is not None else None,
+            on_complete=on_complete,
+        )
+        report = supervisor.run()
+        # Fold in deterministic task order, like the serial loop.
+        for key, _workload, _abtb in tasks:
+            if key in report.outcomes:
+                outcome = report.outcomes[key]
+                absorb(outcome)
+                merge_worker_state(outcome)
+            elif key in report.quarantined:
+                result.quarantined[key] = dict(report.quarantined[key])
+        return finish()
+
     if not parallel:
         for key, workload, abtb in tasks:
             absorb(
@@ -718,23 +933,13 @@ def run_campaign(
                     key, workload, scale, abtb, policy, run_fn, sleep_fn, obs=obs
                 )
             )
-        return result
+        return finish()
 
     # ------------------------------------------------------------ sharded
-    obs_spec = _obs_spec(obs)
-    cache_dir = str(machine_cache_dir) if machine_cache_dir is not None else None
     outcomes: dict[str, dict] = {}
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         futures = {
-            pool.submit(
-                _campaign_worker,
-                {
-                    "key": key, "workload": workload, "abtb": abtb,
-                    "scale": scale, "policy": policy,
-                    "obs_spec": obs_spec, "machine_cache_dir": cache_dir,
-                    "backend": backend,
-                },
-            ): key
+            pool.submit(_campaign_worker, make_task(key, workload, abtb)): key
             for key, workload, abtb in tasks
         }
         for future in as_completed(futures):
@@ -766,9 +971,23 @@ def run_campaign(
     for key, _workload, _abtb in tasks:
         outcome = outcomes[key]
         absorb(outcome)
-        if obs is not None:
-            if obs.metrics is not None and outcome.get("metrics_state"):
-                obs.metrics.merge_state(outcome["metrics_state"])
-            if obs.tracer is not None and outcome.get("tracer_events"):
-                obs.tracer.events.extend(outcome["tracer_events"])
-    return result
+        merge_worker_state(outcome)
+    return finish()
+
+
+def _write_manifest(
+    manifest_path: str | Path,
+    result: CampaignResult,
+    recorder: IncidentRecorder | None,
+) -> Path:
+    """Integrity-checked end-of-campaign manifest (partial results included)."""
+    payload = {
+        "completed": result.completed,
+        "failed": result.failed,
+        "quarantined": result.quarantined,
+        "attempts": result.attempts,
+        "resumed": result.resumed,
+        "degraded": result.degraded,
+        "incident_counts": recorder.counts() if recorder is not None else {},
+    }
+    return write_artifact(manifest_path, payload, MANIFEST_SCHEMA, MANIFEST_VERSION)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.errors import TraceError
+from repro.errors import TraceCorruptionError, TraceError
 from repro.isa.kinds import DEFAULT_NBYTES, KIND_BY_VALUE, EventKind
 
 
@@ -178,7 +178,17 @@ def event_from_row(
     This is the inverse of the columnar packing in
     :mod:`repro.trace.batch`: ``kind`` is the raw integer value (decoded
     via one table lookup) and ``taken`` any truthy/falsy integer.
+
+    An out-of-range ``kind`` — the signature of a corrupted or
+    version-skewed trace artifact — raises
+    :class:`~repro.errors.TraceCorruptionError` instead of an opaque
+    ``IndexError``.
     """
+    if not 0 <= kind < len(KIND_BY_VALUE):
+        raise TraceCorruptionError(
+            f"unknown event kind {kind!r} (valid: 0..{len(KIND_BY_VALUE) - 1}); "
+            f"trace row is corrupt or from an incompatible format version"
+        )
     return TraceEvent(
         KIND_BY_VALUE[kind], pc, n_instr, nbytes, target, mem_addr, taken != 0, tag
     )

@@ -148,6 +148,15 @@ class Observability:
         self.samplers.append(sampler)
         return sampled(events, sampler)
 
+    def incident_recorder(self):
+        """An :class:`~repro.resilience.incidents.IncidentRecorder` wired
+        into this session's metrics and tracer: every recorded incident
+        bumps ``incidents.*`` counters and lands as an instant event on
+        the trace timeline."""
+        from repro.resilience.incidents import IncidentRecorder
+
+        return IncidentRecorder(metrics=self.metrics, tracer=self.tracer)
+
     def finish_run(self, cpu: CPU, label: str, marks_from: int = 0) -> None:
         """Reconstruct per-request spans from the CPU's mark stream onto
         the simulated-clock track for ``label``."""

@@ -1,0 +1,151 @@
+"""Integrity-checked JSON artifacts: checksummed, versioned, atomic.
+
+Every persistent artifact the campaign layer trusts across process
+boundaries — machine checkpoints, campaign resume checkpoints, shard
+spill files, manifests — is written through this module.  The on-disk
+form is an *envelope*::
+
+    {
+      "schema": "repro.machine-state",     # artifact family
+      "schema_version": 2,                 # family's schema version
+      "sha256": "<hex digest>",            # over the canonical payload
+      "payload": { ... }                   # the actual content
+    }
+
+The checksum is computed over the canonical payload serialisation
+(``json.dumps(payload, sort_keys=True)``), so it is independent of the
+envelope's own formatting.  Writes are atomic (temp file + ``os.replace``),
+so a crash mid-write leaves either the old artifact or none — never a
+torn one.  Reads verify the envelope shape, schema name, schema version
+and checksum, raising :class:`~repro.errors.CheckpointCorruptionError`
+with a machine-readable ``reason`` on any failure; owners translate that
+into "rebuild" (re-simulate a machine checkpoint, requeue campaign
+entries) and record an incident, rather than trusting corrupt bytes.
+
+Nothing in an envelope is time- or host-dependent: two processes writing
+the same payload produce byte-identical files, preserving the sharded ==
+serial determinism contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.errors import CheckpointCorruptionError
+
+#: Version of the envelope format itself (not of any payload schema).
+INTEGRITY_VERSION = 1
+
+_ENVELOPE_KEYS = {"schema", "schema_version", "sha256", "payload"}
+
+
+def canonical_payload(payload: object) -> str:
+    """The canonical serialisation the checksum is computed over."""
+    return json.dumps(payload, sort_keys=True)
+
+
+def payload_checksum(payload: object) -> str:
+    """SHA-256 hex digest of the canonical payload serialisation."""
+    return hashlib.sha256(canonical_payload(payload).encode()).hexdigest()
+
+
+def wrap_artifact(payload: object, schema: str, schema_version: int) -> str:
+    """Serialise a payload into its envelope text (deterministic bytes)."""
+    envelope = {
+        "schema": schema,
+        "schema_version": schema_version,
+        "sha256": payload_checksum(payload),
+        "payload": payload,
+    }
+    return json.dumps(envelope, indent=2, sort_keys=True)
+
+
+def write_artifact(
+    path: str | Path, payload: object, schema: str, schema_version: int
+) -> Path:
+    """Atomically write an integrity-checked artifact."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = wrap_artifact(payload, schema, schema_version)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def unwrap_artifact(text: str, schema: str, schema_version: int, source: object = None):
+    """Validate an envelope's text and return its payload.
+
+    Raises :class:`CheckpointCorruptionError` with ``reason`` one of
+    ``not-json | bad-envelope | wrong-schema | wrong-version |
+    checksum-mismatch``.
+    """
+    try:
+        envelope = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckpointCorruptionError(
+            f"artifact {source or '<text>'} is not valid JSON: {exc}",
+            path=source,
+            reason="not-json",
+        ) from exc
+    if not isinstance(envelope, dict) or not _ENVELOPE_KEYS.issubset(envelope):
+        missing = sorted(_ENVELOPE_KEYS - set(envelope)) if isinstance(envelope, dict) else []
+        raise CheckpointCorruptionError(
+            f"artifact {source or '<text>'} has no integrity envelope "
+            f"(missing {missing or 'object structure'})",
+            path=source,
+            reason="bad-envelope",
+        )
+    if envelope["schema"] != schema:
+        raise CheckpointCorruptionError(
+            f"artifact {source or '<text>'}: schema {envelope['schema']!r} "
+            f"(expected {schema!r})",
+            path=source,
+            reason="wrong-schema",
+        )
+    if envelope["schema_version"] != schema_version:
+        raise CheckpointCorruptionError(
+            f"artifact {source or '<text>'}: schema version "
+            f"{envelope['schema_version']!r} (expected {schema_version})",
+            path=source,
+            reason="wrong-version",
+        )
+    payload = envelope["payload"]
+    digest = payload_checksum(payload)
+    if digest != envelope["sha256"]:
+        raise CheckpointCorruptionError(
+            f"artifact {source or '<text>'}: checksum mismatch "
+            f"(stored {str(envelope['sha256'])[:12]}…, computed {digest[:12]}…) — "
+            f"content is corrupt",
+            path=source,
+            reason="checksum-mismatch",
+        )
+    return payload
+
+
+def read_artifact(path: str | Path, schema: str, schema_version: int):
+    """Read and validate an integrity-checked artifact; returns the payload.
+
+    Raises :class:`CheckpointCorruptionError` (``reason="unreadable"``
+    when the file cannot be read at all).
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise CheckpointCorruptionError(
+            f"artifact {path} unreadable: {exc}", path=path, reason="unreadable"
+        ) from exc
+    return unwrap_artifact(text, schema, schema_version, source=path)

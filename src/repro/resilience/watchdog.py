@@ -1,0 +1,273 @@
+"""Runtime divergence watchdog: verify the fast backend *while it runs*.
+
+The batched backend's equivalence with the reference interpreter is
+enforced offline by :mod:`repro.difftest`; the watchdog brings a slice of
+that guarantee into production runs.  It drives the batched backend over
+the stream while teeing every consumed event into a buffer; every
+``check_every`` sync points it advances a *shadow* reference CPU over the
+buffered events to the same stream position and compares a cheap
+:func:`snapshot_hash` of both machines.
+
+On a mismatch the watchdog:
+
+1. records a ``backend_divergence`` incident (positions, diverging
+   component names);
+2. *falls back*: the remainder of the run — and every later stream of the
+   same watchdog — executes on the shadow reference CPU, whose state at
+   the detection point is reference-truth by construction;
+3. marks itself ``diverged`` so callers tag the result and published
+   numbers are never emitted from a diverged backend.
+
+The shadow consumes every event (reference state is cumulative), so a
+watched run costs roughly one reference run *in addition to* the batched
+run; ``check_every`` controls only how often hashes are compared and how
+tight the detection window is.  That price buys runtime verification —
+use it for long campaigns where silent drift would poison published
+numbers, not for quick interactive runs.
+
+A final cross-check always runs at end of stream, so when ``run`` returns
+without having diverged, the two machines are *verified* equal at the
+stream boundary — the invariant the experiment runner relies on when it
+snapshots counters between warm-up and measurement phases.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.resilience.incidents import IncidentKind
+
+
+@dataclass(frozen=True)
+class WatchdogPolicy:
+    """Knobs for one watched run.
+
+    Attributes:
+        check_every: sync points (batch boundaries) between hash
+            cross-checks; 0 disables the watchdog entirely.
+        force_diverge_at_check: testing/chaos hook — pretend the Nth
+            cross-check mismatched even when the hashes agree (1-based;
+            0 disables).  The fallback path then runs for real, and
+            because the machines actually agreed, the final counters
+            must equal an unwatched reference run — which is exactly
+            what the resilience tests assert.
+    """
+
+    check_every: int = 8
+    force_diverge_at_check: int = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.check_every > 0
+
+    def __post_init__(self) -> None:
+        if self.check_every < 0:
+            raise ValueError(f"check_every must be >= 0, got {self.check_every}")
+        if self.force_diverge_at_check < 0:
+            raise ValueError(
+                f"force_diverge_at_check must be >= 0, got {self.force_diverge_at_check}"
+            )
+
+
+def snapshot_hash(cpu) -> str:
+    """Cheap digest of a full :meth:`CPU.snapshot` payload.
+
+    Covers every counter, structure entry, LRU order, the float cycle
+    clock, mechanism state and marks — any single-bit divergence between
+    two machines changes the hash.
+    """
+    payload = json.dumps(cpu.snapshot(), sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _diverging_components(reference, fast) -> list[str]:
+    """Names of snapshot components that differ (for the incident record)."""
+    ref_snap, fast_snap = reference.snapshot(), fast.snapshot()
+    names = []
+    ref_components = ref_snap.get("components", {})
+    fast_components = fast_snap.get("components", {})
+    for name in sorted(set(ref_components) | set(fast_components)):
+        if ref_components.get(name) != fast_components.get(name):
+            names.append(name)
+    for key in sorted(set(ref_snap) | set(fast_snap) - {"components"}):
+        if key != "components" and ref_snap.get(key) != fast_snap.get(key):
+            names.append(key)
+    return names
+
+
+class _Diverged(Exception):
+    """Internal control flow: abandon the batched run at the bad sync."""
+
+    def __init__(self, position: int) -> None:
+        self.position = position
+
+
+class DivergenceWatchdog:
+    """Cross-checks a batched-backend CPU against a shadow reference CPU.
+
+    Args:
+        primary: the CPU driven by the batched backend.
+        shadow: an identically configured CPU advanced by the reference
+            interpreter (must share *no* mutable state with ``primary``).
+        policy: check cadence and test hooks.
+        recorder: optional :class:`IncidentRecorder` for divergence and
+            fallback incidents.
+        batch_events: batch size of the underlying batched backend.
+        label: free-form run label carried into incident context.
+    """
+
+    def __init__(
+        self,
+        primary,
+        shadow,
+        policy: WatchdogPolicy | None = None,
+        recorder=None,
+        batch_events: int = 4096,
+        label: str = "run",
+    ) -> None:
+        self.primary = primary
+        self.shadow = shadow
+        self.policy = policy or WatchdogPolicy()
+        self.recorder = recorder
+        self.batch_events = batch_events
+        self.label = label
+        #: True once any cross-check mismatched; results must then come
+        #: from :attr:`active_cpu` (the shadow) only.
+        self.diverged = False
+        #: Stream position (events into the *current* stream) where the
+        #: divergence was detected, or None.
+        self.divergence_position: int | None = None
+        #: Total cross-checks performed across all streams.
+        self.checks = 0
+        #: Total stream events retired across all streams.
+        self.events_run = 0
+
+    @property
+    def active_cpu(self):
+        """The CPU whose state is authoritative for results."""
+        return self.shadow if self.diverged else self.primary
+
+    @property
+    def backend_used(self) -> str:
+        return "reference" if self.diverged else "batched"
+
+    def finalize(self):
+        """Finalize both machines; returns the authoritative counters."""
+        self.primary.finalize()
+        if self.shadow is not self.primary:
+            self.shadow.finalize()
+        return self.active_cpu.counters
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, events):
+        """Process one event stream under watchdog supervision.
+
+        Returns the authoritative (live) counters.  After a divergence —
+        in this stream or a previous one — the whole stream runs on the
+        shadow reference CPU.
+        """
+        if self.diverged or not self.policy.enabled:
+            cpu = self.active_cpu
+            counters = cpu.run(events)
+            return counters
+
+        stream = iter(events)
+        buffer: list = []
+
+        def tee():
+            for ev in stream:
+                buffer.append(ev)
+                yield ev
+
+        shadow_done = 0
+        syncs_since = 0
+
+        def cross_check(position: int) -> None:
+            nonlocal shadow_done
+            self.checks += 1
+            if position > shadow_done:
+                self.shadow.run(buffer[shadow_done:position])
+                shadow_done = position
+            forced = self.policy.force_diverge_at_check == self.checks
+            if snapshot_hash(self.primary) != snapshot_hash(self.shadow) or forced:
+                self.diverged = True
+                self.divergence_position = position
+                if self.recorder is not None:
+                    self.recorder.record(
+                        IncidentKind.BACKEND_DIVERGENCE,
+                        f"batched backend diverged from reference at stream "
+                        f"position {position} (check #{self.checks})",
+                        label=self.label,
+                        position=position,
+                        check=self.checks,
+                        forced=forced,
+                        components=_diverging_components(self.shadow, self.primary),
+                    )
+                raise _Diverged(position)
+
+        def sync_hook(position: int) -> None:
+            nonlocal syncs_since
+            syncs_since += 1
+            if syncs_since >= self.policy.check_every:
+                syncs_since = 0
+                cross_check(position)
+
+        # Imported lazily: uarch.machine imports this package for its
+        # integrity envelope, so a module-level backend import would tie
+        # the two packages into an initialisation-order knot.
+        from repro.uarch.backend import BatchedBackend
+
+        backend = BatchedBackend(self.primary, self.batch_events)
+        try:
+            backend.run(tee(), sync_hook=sync_hook)
+        except _Diverged as caught:
+            # The shadow holds reference-truth at the detection point; it
+            # finishes the stream (buffered remainder first, then whatever
+            # the batched backend never pulled) and owns all later streams.
+            if self.recorder is not None:
+                self.recorder.record(
+                    IncidentKind.BACKEND_FALLBACK,
+                    f"run continues on the reference backend from stream "
+                    f"position {caught.position}",
+                    severity="warning",
+                    label=self.label,
+                    position=caught.position,
+                )
+            if len(buffer) > caught.position:
+                self.shadow.run(buffer[caught.position:])
+            counters = self.shadow.run(stream)
+            self.events_run += len(buffer)
+            return counters
+
+        # Stream completed on the fast path: sync the shadow to the end
+        # and make the boundary equality *verified*, not assumed.
+        if len(buffer) > shadow_done:
+            self.shadow.run(buffer[shadow_done:])
+            shadow_done = len(buffer)
+        self.events_run += len(buffer)
+        if snapshot_hash(self.primary) != snapshot_hash(self.shadow):
+            self.diverged = True
+            self.divergence_position = len(buffer)
+            if self.recorder is not None:
+                self.recorder.record(
+                    IncidentKind.BACKEND_DIVERGENCE,
+                    f"batched backend diverged from reference at end of "
+                    f"stream (position {len(buffer)})",
+                    label=self.label,
+                    position=len(buffer),
+                    check=self.checks,
+                    forced=False,
+                    components=_diverging_components(self.shadow, self.primary),
+                )
+                self.recorder.record(
+                    IncidentKind.BACKEND_FALLBACK,
+                    "results taken from the reference shadow machine",
+                    severity="warning",
+                    label=self.label,
+                    position=len(buffer),
+                )
+            return self.shadow.counters
+        return self.primary.counters

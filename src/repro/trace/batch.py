@@ -18,13 +18,19 @@ and referenced by index, keeping the array purely numeric.
 
 from __future__ import annotations
 
+import json
+import os
+import struct
+import tempfile
+import zlib
 from itertools import islice
 from operator import attrgetter
+from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-from repro.errors import TraceError
+from repro.errors import TraceCorruptionError, TraceError
 from repro.isa.events import TraceEvent, event_from_row
 from repro.isa.kinds import MAX_EVENT_KIND
 
@@ -157,6 +163,177 @@ class TraceBatch:
     def nbytes_storage(self) -> int:
         """Array storage footprint (excludes the Python tag table)."""
         return int(self.data.nbytes)
+
+    # ------------------------------------------------------- binary codec
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the checksummed binary trace format.
+
+        Layout: a 32-byte header (:data:`TRACE_MAGIC`, format version,
+        event count, tag-blob length, CRC32 of each section), the
+        JSON-encoded tag table, then the raw structured-array bytes.
+        Every tag must be JSON-encodable (None, bool, int, float, str,
+        and tuples/lists thereof) — exactly the shapes the workloads emit.
+        """
+        tag_blob = json.dumps([_encode_tag(t) for t in self.tags]).encode()
+        array_blob = self.data.tobytes()
+        header = struct.pack(
+            TRACE_HEADER_FMT,
+            TRACE_MAGIC,
+            TRACE_FORMAT_VERSION,
+            0,
+            len(self.data),
+            len(tag_blob),
+            zlib.crc32(array_blob),
+            zlib.crc32(tag_blob),
+        )
+        return header + tag_blob + array_blob
+
+    @classmethod
+    def from_bytes(cls, raw: bytes, source: object = None) -> "TraceBatch":
+        """Decode the binary trace format, validating every layer.
+
+        Truncation, a bad magic/version, a checksum mismatch, a malformed
+        tag table or an out-of-range event kind all raise
+        :class:`~repro.errors.TraceCorruptionError` carrying the byte
+        offset of the damage (and the row index, when attributable to one
+        event) — never a bare ``struct.error`` or ``KeyError``.
+        """
+        src = source or "<bytes>"
+        if len(raw) < TRACE_HEADER_SIZE:
+            raise TraceCorruptionError(
+                f"trace {src}: truncated header ({len(raw)} of "
+                f"{TRACE_HEADER_SIZE} bytes)",
+                offset=len(raw),
+            )
+        magic, version, _reserved, n_events, tag_len, array_crc, tag_crc = struct.unpack(
+            TRACE_HEADER_FMT, raw[:TRACE_HEADER_SIZE]
+        )
+        if magic != TRACE_MAGIC:
+            raise TraceCorruptionError(
+                f"trace {src}: bad magic {magic!r} (expected {TRACE_MAGIC!r})",
+                offset=0,
+            )
+        if version != TRACE_FORMAT_VERSION:
+            raise TraceCorruptionError(
+                f"trace {src}: format version {version} unsupported "
+                f"(expected {TRACE_FORMAT_VERSION})",
+                offset=4,
+            )
+        array_off = TRACE_HEADER_SIZE + tag_len
+        expected = array_off + n_events * EVENT_DTYPE.itemsize
+        if len(raw) != expected:
+            raise TraceCorruptionError(
+                f"trace {src}: size mismatch — header promises {expected} "
+                f"bytes ({n_events} events, {tag_len}-byte tag table), "
+                f"got {len(raw)}",
+                offset=min(len(raw), expected),
+            )
+        tag_blob = raw[TRACE_HEADER_SIZE:array_off]
+        if zlib.crc32(tag_blob) != tag_crc:
+            raise TraceCorruptionError(
+                f"trace {src}: tag table checksum mismatch — bytes "
+                f"[{TRACE_HEADER_SIZE}, {array_off}) are corrupt",
+                offset=TRACE_HEADER_SIZE,
+            )
+        array_blob = raw[array_off:]
+        if zlib.crc32(array_blob) != array_crc:
+            raise TraceCorruptionError(
+                f"trace {src}: event array checksum mismatch — bytes "
+                f"[{array_off}, {len(raw)}) are corrupt",
+                offset=array_off,
+            )
+        try:
+            tags = [_decode_tag(t) for t in json.loads(tag_blob.decode())]
+        except (ValueError, TypeError, UnicodeDecodeError) as exc:
+            raise TraceCorruptionError(
+                f"trace {src}: tag table does not decode: {exc}",
+                offset=TRACE_HEADER_SIZE,
+            ) from exc
+        data = np.frombuffer(array_blob, dtype=EVENT_DTYPE).copy()
+        kinds = data["kind"]
+        bad = np.nonzero((kinds < 0) | (kinds > MAX_EVENT_KIND))[0]
+        if bad.size:
+            row = int(bad[0])
+            raise TraceCorruptionError(
+                f"trace {src}: row {row} has unknown event kind "
+                f"{int(kinds[row])} (valid: 0..{MAX_EVENT_KIND})",
+                offset=array_off + row * EVENT_DTYPE.itemsize,
+                row=row,
+            )
+        tag_idx = data["tag"]
+        bad = np.nonzero((tag_idx < -1) | (tag_idx >= len(tags)))[0]
+        if bad.size:
+            row = int(bad[0])
+            raise TraceCorruptionError(
+                f"trace {src}: row {row} references tag {int(tag_idx[row])} "
+                f"outside the {len(tags)}-entry tag table",
+                offset=array_off + row * EVENT_DTYPE.itemsize,
+                row=row,
+            )
+        return cls(data, tags)
+
+    def save(self, path: str | Path) -> Path:
+        """Atomically write the batch in the binary trace format."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(self.to_bytes())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TraceBatch":
+        """Read and validate a binary trace file.
+
+        Raises :class:`~repro.errors.TraceCorruptionError` for damaged
+        content (``offset=-1`` when the file cannot be read at all).
+        """
+        path = Path(path)
+        try:
+            raw = path.read_bytes()
+        except OSError as exc:
+            raise TraceCorruptionError(f"trace {path} unreadable: {exc}") from exc
+        return cls.from_bytes(raw, source=path)
+
+
+#: Binary trace file layout: magic, format version, reserved, event
+#: count, tag-blob length, CRC32 of the array bytes, CRC32 of the tag
+#: blob.  Little-endian, 32 bytes.
+TRACE_MAGIC = b"RPRT"
+TRACE_FORMAT_VERSION = 1
+TRACE_HEADER_FMT = "<4sHHQQII"
+TRACE_HEADER_SIZE = struct.calcsize(TRACE_HEADER_FMT)
+
+
+def _encode_tag(tag: object) -> object:
+    """JSON-safe encoding that survives the tuple/list distinction."""
+    if tag is None or isinstance(tag, (bool, int, float, str)):
+        return {"v": tag}
+    if isinstance(tag, tuple):
+        return {"t": [_encode_tag(item) for item in tag]}
+    if isinstance(tag, list):
+        return {"l": [_encode_tag(item) for item in tag]}
+    raise TraceError(f"tag {tag!r} cannot be serialised to the binary trace format")
+
+
+def _decode_tag(obj: object) -> object:
+    if isinstance(obj, dict):
+        if "v" in obj:
+            return obj["v"]
+        if "t" in obj and isinstance(obj["t"], list):
+            return tuple(_decode_tag(item) for item in obj["t"])
+        if "l" in obj and isinstance(obj["l"], list):
+            return [_decode_tag(item) for item in obj["l"]]
+    raise ValueError(f"malformed tag encoding: {obj!r}")
 
 
 def iter_batches(

@@ -20,20 +20,23 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
-import tempfile
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro.core.config import MechanismConfig
 from repro.core.mechanism import TrampolineSkipMechanism
-from repro.errors import ConfigError
+from repro.errors import CheckpointCorruptionError, ConfigError
+from repro.resilience.incidents import IncidentKind
+from repro.resilience.integrity import read_artifact, write_artifact
 from repro.uarch.cpu import CPU, CPUConfig
 
 #: Schema version of serialised machine states.  Version 2: embeds the
 #: version-2 CPU snapshot (Bloom filter key set); version-1 checkpoints
 #: are rejected on load, which :class:`CheckpointStore` treats as a miss.
 MACHINE_STATE_VERSION = 2
+
+#: Integrity-envelope schema name for on-disk machine states.
+MACHINE_STATE_SCHEMA = "repro.machine-state"
 
 
 @dataclass
@@ -117,11 +120,8 @@ class MachineState:
         return json.dumps(asdict(self), sort_keys=True)
 
     @classmethod
-    def from_json(cls, text: str) -> "MachineState":
-        try:
-            data = json.loads(text)
-        except json.JSONDecodeError as exc:
-            raise ConfigError(f"machine state is not valid JSON: {exc}") from exc
+    def from_payload(cls, data: object) -> "MachineState":
+        """Build a state from an already-parsed payload dict."""
         if not isinstance(data, dict):
             raise ConfigError(f"machine state must be a JSON object, got {type(data).__name__}")
         known = {"version", "cpu_config", "mechanism_config", "cpu", "trace_position", "meta"}
@@ -136,27 +136,34 @@ class MachineState:
             )
         return state
 
-    def save(self, path: str | Path) -> Path:
-        """Atomically write the state as JSON (validated round-trip first)."""
-        self.validate_roundtrip()
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    @classmethod
+    def from_json(cls, text: str) -> "MachineState":
         try:
-            with os.fdopen(fd, "w") as fh:
-                fh.write(self.to_json())
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        return path
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"machine state is not valid JSON: {exc}") from exc
+        return cls.from_payload(data)
+
+    def save(self, path: str | Path) -> Path:
+        """Atomically write the state inside an integrity envelope.
+
+        The round-trip is validated first; the payload checksum and schema
+        version in the envelope let :meth:`load` distinguish truncation and
+        bit rot from honest absence.
+        """
+        self.validate_roundtrip()
+        return write_artifact(path, asdict(self), MACHINE_STATE_SCHEMA, MACHINE_STATE_VERSION)
 
     @classmethod
     def load(cls, path: str | Path) -> "MachineState":
-        return cls.from_json(Path(path).read_text())
+        """Load an integrity-checked machine state.
+
+        Raises :class:`~repro.errors.CheckpointCorruptionError` when the
+        envelope is damaged and :class:`ConfigError` when the payload
+        inside a *valid* envelope is malformed.
+        """
+        payload = read_artifact(path, MACHINE_STATE_SCHEMA, MACHINE_STATE_VERSION)
+        return cls.from_payload(payload)
 
     # ---------------------------------------------------------- validation
 
@@ -202,10 +209,17 @@ class CheckpointStore:
 
     Writes are atomic, so concurrent campaign workers that race to produce
     the same checkpoint simply last-write-wins with identical content.
+
+    A corrupted or truncated checkpoint is *detected* (integrity envelope:
+    schema version + content checksum) and treated as a miss — the caller
+    re-simulates warm-up and overwrites it — never trusted.  When an
+    :class:`~repro.resilience.incidents.IncidentRecorder` is attached, each
+    such detection is logged as a ``checkpoint_corrupt`` incident.
     """
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(self, root: str | Path, recorder=None) -> None:
         self.root = Path(root)
+        self.recorder = recorder
         self.hits = 0
         self.misses = 0
         self.writes = 0
@@ -221,8 +235,18 @@ class CheckpointStore:
             return None
         try:
             state = MachineState.load(path)
-        except (OSError, ValueError, ConfigError):
+        except (OSError, ValueError, ConfigError, CheckpointCorruptionError) as exc:
             self.misses += 1
+            if self.recorder is not None:
+                reason = getattr(exc, "reason", type(exc).__name__)
+                self.recorder.record(
+                    IncidentKind.CHECKPOINT_CORRUPT,
+                    f"machine checkpoint {path.name} failed integrity "
+                    f"validation ({reason}); will re-simulate",
+                    key=key,
+                    path=str(path),
+                    reason=reason,
+                )
             return None
         self.hits += 1
         return state

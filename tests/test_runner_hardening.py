@@ -247,9 +247,10 @@ class TestCampaign:
             sleep_fn=lambda s: None,
         )
         assert first.ok and len(calls) == 2
-        payload = json.loads(path.read_text())
-        assert payload["version"] == 1
-        assert set(payload["completed"]) == {
+        envelope = json.loads(path.read_text())
+        assert envelope["schema"] == "repro.campaign-checkpoint"
+        assert envelope["schema_version"] == 2
+        assert set(envelope["payload"]["completed"]) == {
             pair_key("memcached", 32, "smoke"),
             pair_key("memcached", 64, "smoke"),
         }
@@ -285,7 +286,7 @@ class TestCampaign:
             sleep_fn=lambda s: None,
         )
         assert not result.ok
-        saved = json.loads(path.read_text())["completed"]
+        saved = json.loads(path.read_text())["payload"]["completed"]
         assert pair_key("memcached", 32, "smoke") in saved
         assert pair_key("memcached", 64, "smoke") not in saved
 
