@@ -22,7 +22,15 @@ Subcommands:
   selected workload profile, base and enhanced (exit 0 iff clean);
 * ``incidents`` — validate and summarise a JSONL incident log produced
   by ``campaign --incidents-out`` (exit 0 iff schema-valid and every
-  ``--require`` kind is present).
+  ``--require`` kind is present);
+* ``serve`` / ``worker`` / ``submit`` — the fault-tolerant campaign
+  *service* (see ``docs/SERVICE.md``): ``serve`` runs the manager (REST
+  API, lease-based shard queue, write-ahead journal, content-addressed
+  result store), ``worker`` pulls and executes shard leases against a
+  manager, and ``submit`` submits a campaign and waits, with the same
+  0/3/1 exit-code convention as ``campaign``.  SIGTERM is graceful
+  everywhere: the manager snapshots its journal, workers drain the
+  shard in hand, ``campaign`` flushes its checkpoint and exits 130.
 
 ``compare`` and ``campaign`` accept ``--backend {reference,batched}`` to
 pick the simulation engine; the batched backend is the vectorized hot
@@ -40,7 +48,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import threading
+import time
 
 from repro import __version__, quick_comparison
 from repro.errors import ReproError
@@ -175,6 +186,20 @@ def _parse_fault_spec(spec: str | None) -> tuple[str, int]:
     return spec, 1
 
 
+def _install_sigterm_handler() -> None:
+    """Make SIGTERM behave like Ctrl-C so one KeyboardInterrupt path
+    covers both: flush checkpoints, record the shutdown incident, exit
+    130 — never die mid-write.  No-op outside the main thread (tests)."""
+
+    def raise_interrupt(signum, frame):  # noqa: ARG001
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, raise_interrupt)
+    except ValueError:  # not the main thread
+        pass
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.resilience import (
         FaultPlan,
@@ -215,23 +240,36 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             max_shard_failures=args.max_shard_failures,
         )
 
-    result = run_campaign(
-        args.workloads,
-        scale,
-        abtb_sizes=tuple(args.abtb),
-        checkpoint_path=args.checkpoint,
-        policy=RetryPolicy(timeout_s=args.timeout, max_retries=args.retries),
-        obs=obs,
-        jobs=args.jobs,
-        machine_cache_dir=args.machine_cache,
-        backend=args.backend,
-        recorder=recorder,
-        supervise=args.supervise,
-        supervisor_policy=supervisor_policy,
-        fault_plan=fault_plan,
-        manifest_path=args.manifest,
-        watchdog=watchdog,
-    )
+    _install_sigterm_handler()
+    try:
+        result = run_campaign(
+            args.workloads,
+            scale,
+            abtb_sizes=tuple(args.abtb),
+            checkpoint_path=args.checkpoint,
+            policy=RetryPolicy(timeout_s=args.timeout, max_retries=args.retries),
+            obs=obs,
+            jobs=args.jobs,
+            machine_cache_dir=args.machine_cache,
+            backend=args.backend,
+            recorder=recorder,
+            supervise=args.supervise,
+            supervisor_policy=supervisor_policy,
+            fault_plan=fault_plan,
+            manifest_path=args.manifest,
+            watchdog=watchdog,
+        )
+    except KeyboardInterrupt:
+        # run_campaign has already flushed the checkpoint and recorded
+        # the shutdown incident; finish the exports it can't know about.
+        if recorder is not None and args.incidents_out:
+            recorder.write_jsonl(args.incidents_out)
+        _report_exports(obs)
+        print(
+            "campaign: interrupted — checkpoint flushed, resume to continue",
+            file=sys.stderr,
+        )
+        return 130
     print(result.render())
     if recorder is not None and args.incidents_out:
         recorder.write_jsonl(args.incidents_out)
@@ -246,6 +284,157 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return 1
     if result.degraded:
         return 3  # completed, but quarantined shards are missing
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.resilience import IncidentRecorder, SupervisorPolicy
+    from repro.service.api import ManagerServer
+    from repro.service.manager import CampaignManager
+
+    _install_sigterm_handler()
+    recorder = IncidentRecorder()
+    policy = SupervisorPolicy(
+        shard_deadline_s=args.lease_ttl,
+        max_shard_failures=args.max_shard_failures,
+    )
+    manager = CampaignManager(
+        args.data_dir,
+        policy=policy,
+        recorder=recorder,
+        snapshot_every=args.snapshot_every,
+    )
+    server = ManagerServer(
+        manager, host=args.host, port=args.port, verbose=args.verbose
+    )
+    try:
+        server.start()
+        print(
+            f"serve: manager listening on {server.url} "
+            f"(data: {args.data_dir}, lease TTL {args.lease_ttl:.1f}s)",
+            flush=True,
+        )
+        server.serve_wait()
+        return 0
+    except KeyboardInterrupt:
+        print("serve: shutting down gracefully", file=sys.stderr)
+        return 0
+    finally:
+        server.stop(graceful=True)
+        if args.incidents_out:
+            recorder.write_jsonl(args.incidents_out)
+            print(
+                f"incidents: wrote {args.incidents_out} ({len(recorder)} record(s))",
+                file=sys.stderr,
+            )
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.service.worker import ManagerClient, WorkerAgent, WorkerChaos
+
+    stop = threading.Event()
+
+    def drain(signum, frame):  # noqa: ARG001
+        # Graceful drain: finish + deliver the shard in hand, then exit.
+        stop.set()
+
+    try:
+        signal.signal(signal.SIGTERM, drain)
+    except ValueError:
+        pass
+    chaos = None
+    if args.chaos_kill_after or args.chaos_hang_after:
+        chaos = WorkerChaos(
+            kill_after_leases=args.chaos_kill_after,
+            hang_after_leases=args.chaos_hang_after,
+        )
+    agent = WorkerAgent(
+        ManagerClient(args.manager),
+        name=args.name,
+        poll_interval_s=args.poll_interval,
+        max_idle_s=args.max_idle,
+        machine_cache_dir=args.machine_cache,
+        chaos=chaos,
+        stop_event=stop,
+    )
+    stats = agent.run()
+    print(
+        f"worker {stats['worker_id']}: {stats['shards_done']} shard(s) done, "
+        f"{stats['shards_failed']} failed, {stats['leases_lost']} lease(s) lost"
+        + (" (manager went away; drained)" if stats.get("manager_lost") else "")
+    )
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import CampaignResult
+    from repro.service.worker import ManagerClient
+
+    _install_sigterm_handler()
+    client = ManagerClient(args.manager)
+    spec = {
+        "workloads": args.workloads,
+        "abtb_sizes": args.abtb,
+        "scale": args.scale,
+        "backend": args.backend,
+        "seed": args.seed,
+        "timeout_s": args.timeout,
+        "max_retries": args.retries,
+        "watchdog_every": args.watchdog_every,
+    }
+    status, response = client.post("/campaigns", spec)
+    if status != 201:
+        print(f"error: submit rejected ({status}): {response.get('error')}", file=sys.stderr)
+        return 1
+    campaign_id = response["campaign_id"]
+    print(f"submit: campaign {campaign_id} accepted", flush=True)
+    if not args.wait:
+        return 0
+
+    last_counts = None
+    state = "running"
+    while True:
+        status, body = client.get(f"/campaigns/{campaign_id}")
+        if status == 200:
+            state = body.get("state", "running")
+            counts = body.get("shards", {})
+            if counts != last_counts:
+                last_counts = counts
+                print(
+                    f"submit: {campaign_id} {state} — "
+                    f"{counts.get('completed', 0)}/{counts.get('total', 0)} done, "
+                    f"{counts.get('leased', 0)} leased, "
+                    f"{counts.get('quarantined', 0)} quarantined",
+                    flush=True,
+                )
+            if state in ("complete", "degraded", "cancelled"):
+                break
+        time.sleep(args.poll_interval)
+
+    if args.incidents_out:
+        _, text = client.get_text("/incidents")
+        with open(args.incidents_out, "w") as fh:
+            fh.write(text)
+        print(f"incidents: wrote {args.incidents_out}", file=sys.stderr)
+    if state == "cancelled":
+        print(f"submit: campaign {campaign_id} was cancelled", file=sys.stderr)
+        return 1
+    status, body = client.get(f"/campaigns/{campaign_id}/result")
+    if status != 200:
+        print(f"error: result unavailable ({status}): {body.get('error')}", file=sys.stderr)
+        return 1
+    result = CampaignResult(
+        completed=body["completed"],
+        failed=body["failed"],
+        attempts=body["attempts"],
+        resumed=body["resumed"],
+        quarantined=body["quarantined"],
+    )
+    print(result.render())
+    if result.failed:
+        return 1
+    if result.degraded:
+        return 3
     return 0
 
 
@@ -559,6 +748,109 @@ def build_parser() -> argparse.ArgumentParser:
     )
     difftest.set_defaults(func=_cmd_difftest)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the campaign-service manager (REST API + lease queue + "
+        "durable result store; crash-recoverable via its write-ahead journal)",
+    )
+    serve.add_argument(
+        "--data-dir", required=True, metavar="DIR",
+        help="service state root: journal, snapshot and result store",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8023)
+    serve.add_argument(
+        "--lease-ttl", type=float, default=30.0, metavar="SECONDS",
+        help="shard lease deadline; a worker silent this long forfeits the "
+        "shard (requeued with backoff) [default: 30]",
+    )
+    serve.add_argument(
+        "--max-shard-failures", type=int, default=3, metavar="N",
+        help="lease-level failures before a shard is quarantined [default: 3]",
+    )
+    serve.add_argument(
+        "--snapshot-every", type=int, default=50, metavar="N",
+        help="journal appends between automatic snapshots [default: 50]",
+    )
+    serve.add_argument(
+        "--incidents-out", default=None, metavar="PATH",
+        help="write the manager's incident log as JSON lines on shutdown",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    worker = sub.add_parser(
+        "worker",
+        help="run a campaign-service worker: pull shard leases from a "
+        "manager, execute, heartbeat, report (SIGTERM drains gracefully)",
+    )
+    worker.add_argument(
+        "--manager", default="http://127.0.0.1:8023", metavar="URL",
+        help="manager base URL [default: http://127.0.0.1:8023]",
+    )
+    worker.add_argument("--name", default="", help="worker name (diagnostics)")
+    worker.add_argument(
+        "--poll-interval", type=float, default=0.25, metavar="SECONDS",
+        help="idle sleep between lease attempts [default: 0.25]",
+    )
+    worker.add_argument(
+        "--max-idle", type=float, default=None, metavar="SECONDS",
+        help="exit after this long with no work anywhere (default: run until stopped)",
+    )
+    worker.add_argument(
+        "--machine-cache", default=None, metavar="DIR",
+        help="warm-machine checkpoint cache (shared with serial campaigns)",
+    )
+    worker.add_argument(
+        "--chaos-kill-after", type=int, default=0, metavar="N",
+        help="fault injection (drills/CI): SIGKILL self on the Nth lease grant",
+    )
+    worker.add_argument(
+        "--chaos-hang-after", type=int, default=0, metavar="N",
+        help="fault injection: wedge (hold the lease, stop renewing) on the "
+        "Nth lease grant",
+    )
+    worker.set_defaults(func=_cmd_worker)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a campaign to a running manager and (by default) wait; "
+        "exit 0 complete / 3 degraded / 1 failed",
+    )
+    submit.add_argument(
+        "--manager", default="http://127.0.0.1:8023", metavar="URL",
+        help="manager base URL [default: http://127.0.0.1:8023]",
+    )
+    submit.add_argument(
+        "--workloads", nargs="+", choices=sorted(ALL_WORKLOADS),
+        default=sorted(ALL_WORKLOADS),
+    )
+    submit.add_argument("--scale", choices=("smoke", "paper"), default="smoke")
+    submit.add_argument("--abtb", type=int, nargs="+", default=[256])
+    submit.add_argument("--backend", choices=("reference", "batched"), default="reference")
+    submit.add_argument("--seed", type=int, default=None)
+    submit.add_argument("--timeout", type=float, default=None, help="per-run timeout in seconds")
+    submit.add_argument("--retries", type=int, default=2, help="worker-side retries per pair")
+    submit.add_argument(
+        "--watchdog-every", type=int, default=0, metavar="N",
+        help="backend divergence watchdog interval (with --backend batched)",
+    )
+    submit.add_argument(
+        "--no-wait", dest="wait", action="store_false",
+        help="return immediately after the campaign is accepted",
+    )
+    submit.add_argument(
+        "--poll-interval", type=float, default=0.5, metavar="SECONDS",
+        help="status poll interval while waiting [default: 0.5]",
+    )
+    submit.add_argument(
+        "--incidents-out", default=None, metavar="PATH",
+        help="fetch the manager's incident log after completion (see 'incidents')",
+    )
+    submit.set_defaults(func=_cmd_submit)
+
     incidents = sub.add_parser(
         "incidents", help="validate and summarise a JSONL incident log"
     )
@@ -612,6 +904,11 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        # SIGINT/SIGTERM outside a command's own graceful path: the
+        # conventional 128+SIGINT code, with no traceback spew.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

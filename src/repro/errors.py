@@ -96,8 +96,8 @@ class CheckpointCorruptionError(ResilienceError):
     def __init__(self, message: str, path: object = None, reason: str = "corrupt") -> None:
         super().__init__(message)
         self.path = path
-        #: Machine-readable cause: ``unreadable | not-json | bad-envelope
-        #: | wrong-schema | wrong-version | checksum-mismatch``.
+        #: Machine-readable cause: ``missing | unreadable | not-json |
+        #: bad-envelope | wrong-schema | wrong-version | checksum-mismatch``.
         self.reason = reason
 
 
@@ -116,3 +116,26 @@ class WorkerDeathError(SupervisorError):
 class BackendDivergenceError(ResilienceError):
     """The runtime watchdog caught the fast backend diverging from the
     reference interpreter (results must fall back, never be published)."""
+
+
+# -------------------------------------------------------------- service
+#
+# The campaign service (src/repro/service/) — lease-based manager/worker
+# runtime — classifies its failures below.
+
+
+class ServiceError(ReproError):
+    """Base class for failures in the campaign service layer."""
+
+
+class SchemaError(ServiceError):
+    """A JSON request/response body failed dataclass-schema validation.
+
+    The API layer maps this onto HTTP 400; the message names the field
+    and the violated constraint.
+    """
+
+
+class LeaseError(ServiceError):
+    """A shard lease operation was invalid (unknown, expired or not
+    owned by the requesting worker)."""

@@ -551,8 +551,6 @@ def _load_checkpoint(
     returned — the affected pairs are simply requeued and re-simulated,
     which is always safe because pair execution is deterministic.
     """
-    if not path.exists():
-        return {}
     try:
         payload = read_artifact(path, CHECKPOINT_SCHEMA, CHECKPOINT_VERSION)
         completed = payload.get("completed", {})
@@ -563,6 +561,11 @@ def _load_checkpoint(
                 reason="bad-envelope",
             )
     except CheckpointCorruptionError as exc:
+        if exc.reason == "missing":
+            # First run: nothing to resume.  Read-and-catch instead of an
+            # exists() probe — no TOCTOU window against a concurrent
+            # writer or cleaner, and no spurious incident.
+            return {}
         if recorder is None:
             raise ExperimentError(
                 f"checkpoint {path} failed integrity validation "
@@ -891,88 +894,109 @@ def run_campaign(
             ),
         }
 
-    # --------------------------------------------------------- supervised
-    if supervise:
-        live: dict[str, dict] = {}
+    def execute() -> CampaignResult:
+        # ----------------------------------------------------- supervised
+        if supervise:
+            live: dict[str, dict] = {}
 
-        def on_complete(key: str, outcome: dict) -> None:
-            # Incremental checkpoint the moment a shard lands (completion
-            # order; sorted keys keep the bytes order-independent).
-            if outcome.get("failed") is None and outcome.get("summary") is not None:
-                live[key] = outcome["summary"]
-                if path is not None:
+            def on_complete(key: str, outcome: dict) -> None:
+                # Incremental checkpoint the moment a shard lands (completion
+                # order; sorted keys keep the bytes order-independent).
+                if outcome.get("failed") is None and outcome.get("summary") is not None:
+                    live[key] = outcome["summary"]
+                    if path is not None:
+                        staged = dict(result.completed)
+                        staged.update(live)
+                        _save_checkpoint(path, staged)
+
+            supervisor = CampaignSupervisor(
+                _campaign_worker,
+                [(key, make_task(key, workload, abtb)) for key, workload, abtb in tasks],
+                jobs=jobs,
+                policy=supervisor_policy,
+                recorder=recorder,
+                fault_plan=fault_plan,
+                spill_dir=path.parent / f"{path.name}.spill" if path is not None else None,
+                on_complete=on_complete,
+            )
+            report = supervisor.run()
+            # Fold in deterministic task order, like the serial loop.
+            for key, _workload, _abtb in tasks:
+                if key in report.outcomes:
+                    outcome = report.outcomes[key]
+                    absorb(outcome)
+                    merge_worker_state(outcome)
+                elif key in report.quarantined:
+                    result.quarantined[key] = dict(report.quarantined[key])
+            return finish()
+
+        if not parallel:
+            for key, workload, abtb in tasks:
+                absorb(
+                    _run_one_pair(
+                        key, workload, scale, abtb, policy, run_fn, sleep_fn, obs=obs
+                    )
+                )
+            return finish()
+
+        # -------------------------------------------------------- sharded
+        outcomes: dict[str, dict] = {}
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(_campaign_worker, make_task(key, workload, abtb)): key
+                for key, workload, abtb in tasks
+            }
+            for future in as_completed(futures):
+                key = futures[future]
+                try:
+                    outcome = future.result()
+                except Exception as exc:  # worker process died
+                    outcome = {
+                        "key": key, "attempts": 1, "retries": 0,
+                        "failed": f"worker crashed: {type(exc).__name__}: {exc}",
+                        "summary": None, "metrics_state": None, "tracer_events": None,
+                    }
+                outcomes[key] = outcome
+                # Incremental checkpoint as pairs land (arrival order; the
+                # file's sorted keys make the bytes order-independent).
+                if path is not None and outcome["failed"] is None:
                     staged = dict(result.completed)
-                    staged.update(live)
+                    staged.update(
+                        {
+                            k: o["summary"]
+                            for k, o in outcomes.items()
+                            if o["failed"] is None
+                        }
+                    )
                     _save_checkpoint(path, staged)
 
-        supervisor = CampaignSupervisor(
-            _campaign_worker,
-            [(key, make_task(key, workload, abtb)) for key, workload, abtb in tasks],
-            jobs=jobs,
-            policy=supervisor_policy,
-            recorder=recorder,
-            fault_plan=fault_plan,
-            spill_dir=path.parent / f"{path.name}.spill" if path is not None else None,
-            on_complete=on_complete,
-        )
-        report = supervisor.run()
-        # Fold in deterministic task order, like the serial loop.
+        # Merge in the serial loop's order so attempts/completed/failed and
+        # the obs streams are deterministic regardless of arrival order.
         for key, _workload, _abtb in tasks:
-            if key in report.outcomes:
-                outcome = report.outcomes[key]
-                absorb(outcome)
-                merge_worker_state(outcome)
-            elif key in report.quarantined:
-                result.quarantined[key] = dict(report.quarantined[key])
+            outcome = outcomes[key]
+            absorb(outcome)
+            merge_worker_state(outcome)
         return finish()
 
-    if not parallel:
-        for key, workload, abtb in tasks:
-            absorb(
-                _run_one_pair(
-                    key, workload, scale, abtb, policy, run_fn, sleep_fn, obs=obs
-                )
+    try:
+        return execute()
+    except KeyboardInterrupt:
+        # SIGINT/SIGTERM (the CLI converts the latter) mid-campaign:
+        # flush what we have through the atomic checkpoint path and say
+        # so in the incident log, instead of dying mid-write and leaving
+        # the next resume to guess.
+        if path is not None:
+            _save_checkpoint(path, result.completed)
+        if recorder is not None:
+            recorder.record(
+                IncidentKind.SHUTDOWN,
+                f"campaign interrupted with {len(result.completed)} pair(s) "
+                f"completed; checkpoint flushed, resume will skip them",
+                severity="warning",
+                completed=len(result.completed),
+                checkpoint=str(path) if path is not None else None,
             )
-        return finish()
-
-    # ------------------------------------------------------------ sharded
-    outcomes: dict[str, dict] = {}
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = {
-            pool.submit(_campaign_worker, make_task(key, workload, abtb)): key
-            for key, workload, abtb in tasks
-        }
-        for future in as_completed(futures):
-            key = futures[future]
-            try:
-                outcome = future.result()
-            except Exception as exc:  # worker process died
-                outcome = {
-                    "key": key, "attempts": 1, "retries": 0,
-                    "failed": f"worker crashed: {type(exc).__name__}: {exc}",
-                    "summary": None, "metrics_state": None, "tracer_events": None,
-                }
-            outcomes[key] = outcome
-            # Incremental checkpoint as pairs land (arrival order; the
-            # file's sorted keys make the bytes order-independent).
-            if path is not None and outcome["failed"] is None:
-                staged = dict(result.completed)
-                staged.update(
-                    {
-                        k: o["summary"]
-                        for k, o in outcomes.items()
-                        if o["failed"] is None
-                    }
-                )
-                _save_checkpoint(path, staged)
-
-    # Merge in the serial loop's order so attempts/completed/failed and
-    # the obs streams are deterministic regardless of arrival order.
-    for key, _workload, _abtb in tasks:
-        outcome = outcomes[key]
-        absorb(outcome)
-        merge_worker_state(outcome)
-    return finish()
+        raise
 
 
 def _write_manifest(

@@ -20,6 +20,8 @@ stream — the fast path is the absence of this module.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from collections import deque
 from typing import IO, Iterable, Iterator, Sequence
 
@@ -309,10 +311,27 @@ class MetricsRegistry:
 
     def write(self, path: str) -> None:
         """Write the registry to ``path``; ``.prom`` selects Prometheus
-        text format, anything else JSON-lines."""
+        text format, anything else JSON-lines.
+
+        The write is atomic (mkstemp + rename): a scraper reading the
+        ``.prom`` file mid-export sees the old complete file or the new
+        one, never a torn mix.
+        """
         text = self.to_prometheus() if path.endswith(".prom") else self.to_jsonl()
-        with open(path, "w") as fh:
-            fh.write(text)
+        directory = os.path.dirname(path) or "."
+        fd, tmp = tempfile.mkstemp(
+            dir=directory, prefix=os.path.basename(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     def write_jsonl(self, fh: IO[str]) -> None:
         fh.write(self.to_jsonl())

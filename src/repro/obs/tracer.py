@@ -26,6 +26,8 @@ dispatch on any hot path.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import time
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator
@@ -186,9 +188,25 @@ class Tracer:
         }
 
     def write(self, path: str) -> None:
-        """Serialise the trace to ``path`` as Chrome trace JSON."""
-        with open(path, "w") as fh:
-            json.dump(self.to_chrome(), fh)
+        """Serialise the trace to ``path`` as Chrome trace JSON.
+
+        Atomic (mkstemp + rename): a crash mid-export leaves the previous
+        trace or none, never a truncated JSON that Perfetto rejects.
+        """
+        directory = os.path.dirname(path) or "."
+        fd, tmp = tempfile.mkstemp(
+            dir=directory, prefix=os.path.basename(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(self.to_chrome(), fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
 
 #: Phases that require a ``dur`` field.

@@ -23,6 +23,7 @@ from __future__ import annotations
 import enum
 import json
 import os
+import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -64,6 +65,26 @@ class IncidentKind(enum.Enum):
     BACKEND_FALLBACK = "backend_fallback"
     #: The chaos oracle observed a stale-target violation.
     ORACLE_VIOLATION = "oracle_violation"
+    #: A shard lease expired (worker crash, hang or partition); the shard
+    #: was requeued with backoff.
+    LEASE_EXPIRED = "lease_expired"
+    #: A manager journal record (or the snapshot) failed validation on
+    #: recovery; the affected state is rebuilt from the result store or
+    #: requeued, never trusted.
+    JOURNAL_CORRUPT = "journal_corrupt"
+    #: A stored shard result failed integrity validation; treated as a
+    #: miss and recomputed.
+    RESULT_CORRUPT = "result_corrupt"
+    #: Two completions of the same config hash disagreed; the first
+    #: stored result wins (determinism means this indicates a bug or a
+    #: diverged-backend marker, never silent corruption of aggregates).
+    RESULT_CONFLICT = "result_conflict"
+    #: The campaign manager rebuilt in-flight campaigns from its journal
+    #: after a restart.
+    MANAGER_RECOVERED = "manager_recovered"
+    #: A graceful shutdown (SIGTERM/SIGINT) flushed state mid-campaign
+    #: instead of dying mid-write.
+    SHUTDOWN = "shutdown"
 
 
 _KINDS_BY_VALUE = {k.value: k for k in IncidentKind}
@@ -209,14 +230,28 @@ class IncidentRecorder:
     # ------------------------------------------------------------- export
 
     def write_jsonl(self, path: str | Path) -> Path:
-        """Atomically write the incident log as JSON lines."""
+        """Atomically write the incident log as JSON lines.
+
+        The temp file comes from ``mkstemp`` (unique per writer), so two
+        processes exporting to the same path cannot race on a shared
+        ``.tmp`` name — the last rename wins and both files are intact.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(path.suffix + ".tmp")
-        tmp.write_text(
-            "".join(json.dumps(i.as_dict(), sort_keys=True) + "\n" for i in self.incidents)
+        text = "".join(
+            json.dumps(i.as_dict(), sort_keys=True) + "\n" for i in self.incidents
         )
-        os.replace(tmp, path)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         return path
 
 

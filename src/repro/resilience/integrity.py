@@ -138,12 +138,19 @@ def unwrap_artifact(text: str, schema: str, schema_version: int, source: object 
 def read_artifact(path: str | Path, schema: str, schema_version: int):
     """Read and validate an integrity-checked artifact; returns the payload.
 
-    Raises :class:`CheckpointCorruptionError` (``reason="unreadable"``
-    when the file cannot be read at all).
+    Raises :class:`CheckpointCorruptionError` — ``reason="missing"`` when
+    the file does not exist, ``reason="unreadable"`` when it cannot be
+    read at all.  Callers should read-and-catch rather than probe with
+    ``exists()`` first: the single attempt has no TOCTOU window against
+    concurrent writers or cleaners.
     """
     path = Path(path)
     try:
         text = path.read_text()
+    except FileNotFoundError as exc:
+        raise CheckpointCorruptionError(
+            f"artifact {path} does not exist", path=path, reason="missing"
+        ) from exc
     except OSError as exc:
         raise CheckpointCorruptionError(
             f"artifact {path} unreadable: {exc}", path=path, reason="unreadable"

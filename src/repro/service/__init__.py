@@ -1,0 +1,64 @@
+"""repro.service — the fault-tolerant campaign service.
+
+Turns :func:`repro.experiments.runner.run_campaign` into a long-running
+manager/worker system that survives worker crashes, manager restarts and
+corrupt state without losing or double-counting a single shard:
+
+* :mod:`repro.service.schemas` — dataclass request/response schemas with
+  strict validation (the JSON contract of the REST API);
+* :mod:`repro.service.queue` — the lease-based shard queue: workers pull
+  shard leases with deadlines, renew via heartbeat, and expired leases
+  are requeued with exponential backoff and quarantined after N failures
+  (knobs reuse :class:`~repro.resilience.supervisor.SupervisorPolicy`);
+* :mod:`repro.service.store` — the durable, content-addressed result
+  store keyed by config hash: shard execution is idempotent, so
+  at-least-once delivery dedupes instead of corrupting aggregates;
+* :mod:`repro.service.journal` — write-ahead JSONL journal plus atomic
+  snapshot; a SIGKILL'd manager replays both on restart;
+* :mod:`repro.service.manager` — the :class:`CampaignManager` state
+  machine composing queue + store + journal, producing final
+  :class:`~repro.experiments.runner.CampaignResult`s byte-identical to a
+  serial fault-free run;
+* :mod:`repro.service.api` — the stdlib ``http.server`` REST front end
+  (submit/list/status/cancel, leases, incidents, Prometheus metrics);
+* :mod:`repro.service.worker` — the worker agent: registers, pulls
+  leases, runs shards through the same ``run_workload`` path as serial
+  campaigns (watchdog and incident recorder included) and reports back.
+
+See ``docs/SERVICE.md`` for the API, the lease lifecycle and the
+recovery guarantees.
+"""
+
+from repro.service.journal import JOURNAL_SNAPSHOT_SCHEMA, Journal
+from repro.service.manager import CampaignManager
+from repro.service.queue import Lease, LeaseQueue, ShardPhase
+from repro.service.schemas import (
+    CampaignSpec,
+    CompleteRequest,
+    FailRequest,
+    LeaseRequest,
+    RegisterRequest,
+    RenewRequest,
+)
+from repro.service.store import RESULT_SCHEMA, ResultStore, shard_result_key
+from repro.service.worker import WorkerAgent, WorkerChaos
+
+__all__ = [
+    "CampaignManager",
+    "CampaignSpec",
+    "CompleteRequest",
+    "FailRequest",
+    "JOURNAL_SNAPSHOT_SCHEMA",
+    "Journal",
+    "Lease",
+    "LeaseQueue",
+    "LeaseRequest",
+    "RESULT_SCHEMA",
+    "RegisterRequest",
+    "RenewRequest",
+    "ResultStore",
+    "ShardPhase",
+    "WorkerAgent",
+    "WorkerChaos",
+    "shard_result_key",
+]

@@ -1,0 +1,293 @@
+"""REST front-end for the campaign manager (stdlib ``http.server``).
+
+JSON over HTTP, dataclass-schema validated, served by a
+``ThreadingHTTPServer`` (one thread per request; the manager serialises
+state behind its own lock).  Routes::
+
+    GET  /healthz                    liveness + campaign count
+    GET  /metrics                    Prometheus text exposition
+    GET  /incidents                  incident log, JSON lines
+    GET  /campaigns                  list campaigns
+    POST /campaigns                  submit (body: CampaignSpec)
+    GET  /campaigns/<id>             one campaign's status
+    GET  /campaigns/<id>/result      final CampaignResult (409 while running)
+    POST /campaigns/<id>/cancel      cancel
+    POST /workers/register           register (body: RegisterRequest)
+    POST /leases                     acquire a lease (body: LeaseRequest)
+    POST /leases/<id>/renew          heartbeat (body: RenewRequest)
+    POST /shards/complete            deliver an outcome (body: CompleteRequest)
+    POST /shards/fail                report a failure (body: FailRequest)
+
+Error mapping: :class:`~repro.errors.SchemaError` → 400, unknown
+resources → 404, :class:`~repro.errors.ServiceError` (including a shut
+down manager) → 409/503.  Lease acquire returns ``{"lease": null}``
+rather than an error when no work is ready — polling idle is not a
+fault.
+
+A background *sweeper* thread calls :meth:`CampaignManager.tick`
+periodically so leases held by crashed workers expire even when no
+worker is polling.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import SchemaError, ServiceError
+from repro.service.manager import CampaignManager
+from repro.service.schemas import (
+    CampaignSpec,
+    CompleteRequest,
+    FailRequest,
+    LeaseRequest,
+    RegisterRequest,
+    RenewRequest,
+)
+
+
+def _result_as_dict(result) -> dict:
+    return {
+        "completed": result.completed,
+        "failed": result.failed,
+        "attempts": result.attempts,
+        "resumed": result.resumed,
+        "quarantined": result.quarantined,
+    }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Dispatches one request against the server's manager."""
+
+    server: "ManagerServer"  # set by ThreadingHTTPServer machinery
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------ plumbing
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send(self, status: int, body: str, content_type: str = "application/json") -> None:
+        data = body.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        self._send(status, json.dumps(payload))
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(body, dict):
+            raise SchemaError(
+                f"request body must be a JSON object, got {type(body).__name__}"
+            )
+        return body
+
+    # ------------------------------------------------------------- methods
+
+    def do_GET(self) -> None:  # noqa: N802
+        try:
+            self._route_get()
+        except ServiceError as exc:
+            self._send_json(409, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - last-resort guard
+            self._send_json(500, {"error": f"internal error: {exc}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            self._route_post()
+        except SchemaError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except ServiceError as exc:
+            status = 503 if "shut down" in str(exc) else 409
+            self._send_json(status, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - last-resort guard
+            self._send_json(500, {"error": f"internal error: {exc}"})
+
+    # -------------------------------------------------------------- routes
+
+    def _route_get(self) -> None:
+        manager = self.server.manager
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if parts == ["healthz"]:
+            self._send_json(
+                200, {"ok": True, "campaigns": len(manager.list_campaigns())}
+            )
+        elif parts == ["metrics"]:
+            self._send(200, manager.metrics.to_prometheus(), "text/plain; version=0.0.4")
+        elif parts == ["incidents"]:
+            lines = "".join(
+                json.dumps(d, sort_keys=True) + "\n"
+                for d in manager.recorder.as_dicts()
+            )
+            self._send(200, lines, "application/x-ndjson")
+        elif parts == ["campaigns"]:
+            self._send_json(200, {"campaigns": manager.list_campaigns()})
+        elif len(parts) == 2 and parts[0] == "campaigns":
+            status = manager.status(parts[1])
+            if status is None:
+                self._send_json(404, {"error": f"no campaign {parts[1]!r}"})
+            else:
+                self._send_json(200, status)
+        elif len(parts) == 3 and parts[0] == "campaigns" and parts[2] == "result":
+            status = manager.status(parts[1])
+            if status is None:
+                self._send_json(404, {"error": f"no campaign {parts[1]!r}"})
+                return
+            result = manager.result(parts[1])
+            if result is None:
+                self._send_json(
+                    409, {"error": f"campaign {parts[1]} is not finished", "state": status["state"]}
+                )
+            else:
+                self._send_json(200, _result_as_dict(result))
+        else:
+            self._send_json(404, {"error": f"no such resource {self.path!r}"})
+
+    def _route_post(self) -> None:
+        manager = self.server.manager
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        body = self._read_body()
+        if parts == ["campaigns"]:
+            spec = CampaignSpec.from_dict(body)
+            self._send_json(201, {"campaign_id": manager.submit(spec)})
+        elif len(parts) == 3 and parts[0] == "campaigns" and parts[2] == "cancel":
+            self._send_json(200, {"cancelled": manager.cancel(parts[1])})
+        elif parts == ["workers", "register"]:
+            request = RegisterRequest.from_dict(body)
+            self._send_json(200, manager.register_worker(request.name))
+        elif parts == ["leases"]:
+            request = LeaseRequest.from_dict(body)
+            grant = manager.lease(request.worker_id)
+            if grant is None:
+                self._send_json(
+                    200,
+                    {
+                        "lease": None,
+                        "has_work": manager.queue.has_work(),
+                        "retry_in_s": self.server.idle_retry_s,
+                    },
+                )
+            else:
+                self._send_json(200, {"lease": grant})
+        elif len(parts) == 3 and parts[0] == "leases" and parts[2] == "renew":
+            request = RenewRequest.from_dict(body)
+            renewed = manager.renew(parts[1], request.worker_id)
+            # 410 Gone tells the worker its lease is lost (expired or the
+            # manager restarted); the worker keeps computing and still
+            # delivers — completion is key-addressed, not lease-addressed.
+            if renewed is None:
+                self._send_json(410, {"renewed": False})
+            else:
+                self._send_json(200, {"renewed": True, **renewed})
+        elif parts == ["shards", "complete"]:
+            request = CompleteRequest.from_dict(body)
+            self._send_json(200, manager.complete(request))
+        elif parts == ["shards", "fail"]:
+            request = FailRequest.from_dict(body)
+            self._send_json(
+                200,
+                manager.fail(
+                    request.campaign_id, request.key, request.error, request.worker_id
+                ),
+            )
+        else:
+            self._send_json(404, {"error": f"no such resource {self.path!r}"})
+
+
+class ManagerServer:
+    """The manager behind a threaded HTTP server + expiry sweeper.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`port` reports the
+    bound one.  ``allow_reuse_address`` (ThreadingHTTPServer's default)
+    lets a restarted manager rebind the same port immediately — required
+    for crash-recovery drills.
+    """
+
+    def __init__(
+        self,
+        manager: CampaignManager,
+        host: str = "127.0.0.1",
+        port: int = 8023,
+        verbose: bool = False,
+        idle_retry_s: float = 0.25,
+    ) -> None:
+        self.manager = manager
+        self.verbose = verbose
+        self.idle_retry_s = idle_retry_s
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        # Hand the handler its context through the server object.
+        self._httpd.manager = manager  # type: ignore[attr-defined]
+        self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._httpd.idle_retry_s = idle_retry_s  # type: ignore[attr-defined]
+        self._serve_thread: threading.Thread | None = None
+        self._sweep_thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self.tick_interval_s = max(
+            manager.policy.poll_interval_s, manager.policy.shard_deadline_s / 10.0
+        )
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> None:
+        """Serve + sweep in background threads; returns immediately."""
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="manager-http", daemon=True
+        )
+        self._serve_thread.start()
+        self._sweep_thread = threading.Thread(
+            target=self._sweep, name="manager-sweeper", daemon=True
+        )
+        self._sweep_thread.start()
+
+    def serve_wait(self) -> None:
+        """Block (after :meth:`start`) until :meth:`stop`; the timeout
+        loop keeps the main thread responsive to SIGINT/SIGTERM."""
+        while not self._stop.wait(0.5):
+            pass
+
+    def stop(self, graceful: bool = True) -> None:
+        """Stop serving; ``graceful`` also snapshots + closes the journal.
+
+        With ``graceful=False`` the manager state is abandoned as-is —
+        the WAL alone must carry recovery (this is the crash drill the
+        E2E test exercises, minus the SIGKILL).
+        """
+        self._stop.set()
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+        if self._sweep_thread is not None:
+            self._sweep_thread.join(timeout=5.0)
+        if graceful:
+            self.manager.shutdown()
+
+    def _sweep(self) -> None:
+        while not self._stop.wait(self.tick_interval_s):
+            try:
+                self.manager.tick()
+            except ServiceError:
+                break  # manager shut down under us; sweeping is over

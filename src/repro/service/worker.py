@@ -1,0 +1,350 @@
+"""Worker agent: pulls shard leases over HTTP and executes them.
+
+The execution path is deliberately the *same code* the serial campaign
+runner uses — :func:`repro.experiments.runner._run_one_pair` over
+:func:`repro.experiments.runner.run_pair` with the same retry/timeout
+policy, watchdog and incident recorder — which is what makes a service
+campaign's :class:`~repro.experiments.runner.CampaignResult`
+counter-for-counter identical to a serial one.
+
+Lease discipline:
+
+* a heartbeat thread renews the lease every ``renew_every_s`` while the
+  shard simulates;
+* a renewal answered 410 (lease gone: expired, or the manager restarted
+  and forgot all leases) does NOT abort the computation — the worker
+  finishes and still delivers, because completion is key-addressed and
+  the result store dedupes; abandoning finished work would only waste it;
+* a manager that is briefly unreachable (restarting) is retried with
+  backoff by :class:`ManagerClient` rather than treated as fatal.
+
+:class:`WorkerChaos` is the built-in fault injector for drills and the
+service-smoke CI job: it SIGKILLs or wedges the worker after the Nth
+lease grant, exercising the expiry → requeue → reassign path end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+
+from repro.errors import ServiceError
+from repro.experiments.runner import RetryPolicy, _run_one_pair, run_pair
+from repro.experiments.scale import PAPER, SMOKE
+from repro.resilience.incidents import IncidentRecorder
+from repro.resilience.watchdog import WatchdogPolicy
+from repro.uarch.machine import CheckpointStore
+
+_SCALES = {"smoke": SMOKE, "paper": PAPER}
+
+
+class ManagerClient:
+    """Tiny JSON-over-HTTP client for the manager (stdlib urllib).
+
+    HTTP error statuses are *answers*, not failures — they are returned
+    as ``(status, payload)`` like any other response.  Connection-level
+    failures (manager down or mid-restart) are retried ``retries`` times
+    with ``retry_delay_s`` between attempts, then raise
+    :class:`~repro.errors.ServiceError`.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        retries: int = 40,
+        retry_delay_s: float = 0.25,
+        timeout_s: float = 10.0,
+        sleep_fn=time.sleep,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.retries = retries
+        self.retry_delay_s = retry_delay_s
+        self.timeout_s = timeout_s
+        self.sleep_fn = sleep_fn
+
+    def get(self, path: str) -> tuple[int, dict]:
+        return self._request("GET", path, None)
+
+    def get_text(self, path: str) -> tuple[int, str]:
+        """GET a non-JSON resource (``/incidents`` NDJSON, ``/metrics``)."""
+        request = urllib.request.Request(self.base_url + path, method="GET")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
+                return resp.status, resp.read().decode()
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read().decode()
+
+    def post(self, path: str, body: dict | None = None) -> tuple[int, dict]:
+        return self._request("POST", path, body if body is not None else {})
+
+    def _request(self, method: str, path: str, body: dict | None) -> tuple[int, dict]:
+        data = json.dumps(body).encode() if body is not None else None
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(
+                self.base_url + path,
+                data=data,
+                method=method,
+                headers={"Content-Type": "application/json"},
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
+                    return resp.status, _decode(resp.read())
+            except urllib.error.HTTPError as exc:
+                return exc.code, _decode(exc.read())
+            except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as exc:
+                last_error = exc
+                if attempt < self.retries:
+                    self.sleep_fn(self.retry_delay_s)
+        raise ServiceError(
+            f"manager at {self.base_url} unreachable after "
+            f"{self.retries + 1} attempt(s): {last_error}"
+        )
+
+
+def _decode(raw: bytes) -> dict:
+    try:
+        payload = json.loads(raw) if raw else {}
+    except json.JSONDecodeError:
+        return {}
+    return payload if isinstance(payload, dict) else {}
+
+
+@dataclass
+class WorkerChaos:
+    """Fault injection for drills: die or wedge after the Nth lease.
+
+    ``kill_after_leases=N`` SIGKILLs the worker process the moment it is
+    granted its Nth lease — before any result is delivered — so the
+    manager sees a silent death and must recover via lease expiry.
+    ``hang_after_leases=N`` wedges the worker instead (lease held, no
+    renewal, no progress): the expiry path again, but with a live corpse.
+    """
+
+    kill_after_leases: int = 0
+    hang_after_leases: int = 0
+    leases_granted: int = 0
+
+    def on_lease(self) -> None:
+        self.leases_granted += 1
+        if self.kill_after_leases and self.leases_granted >= self.kill_after_leases:
+            os.kill(os.getpid(), signal.SIGKILL)
+        if self.hang_after_leases and self.leases_granted >= self.hang_after_leases:
+            while True:  # pragma: no cover - only ever exited by SIGKILL
+                time.sleep(3600)
+
+
+class WorkerAgent:
+    """Register → lease → heartbeat → execute → deliver, until stopped.
+
+    Args:
+        client: transport to the manager.
+        name: optional human-readable worker name.
+        poll_interval_s: idle sleep between lease attempts.
+        max_idle_s: exit after this long with no work AND no queued work
+            anywhere (None: run until stopped — the service default).
+        machine_cache_dir: warm-machine checkpoint cache shared with the
+            serial runner (optional but a large speedup across shards).
+        chaos: fault injector (drills/CI only).
+        stop_event: external stop signal; the agent finishes the shard in
+            hand, delivers it, then exits (graceful drain).
+    """
+
+    def __init__(
+        self,
+        client: ManagerClient,
+        name: str = "",
+        poll_interval_s: float = 0.25,
+        max_idle_s: float | None = None,
+        machine_cache_dir: str | None = None,
+        chaos: WorkerChaos | None = None,
+        stop_event: threading.Event | None = None,
+    ) -> None:
+        self.client = client
+        self.name = name
+        self.poll_interval_s = poll_interval_s
+        self.max_idle_s = max_idle_s
+        self.machine_cache_dir = machine_cache_dir
+        self.chaos = chaos
+        self.stop_event = stop_event if stop_event is not None else threading.Event()
+        self.worker_id = ""
+        self.renew_every_s = 1.0
+        self.shards_done = 0
+        self.shards_failed = 0
+        self.leases_lost = 0
+        self.manager_lost = False
+
+    def stop(self) -> None:
+        self.stop_event.set()
+
+    def run(self) -> dict:
+        """The agent main loop; returns run stats when it exits."""
+        _, registration = self.client.post(
+            "/workers/register", {"name": self.name}
+        )
+        self.worker_id = registration["worker_id"]
+        self.renew_every_s = float(registration.get("renew_every_s", 1.0))
+        idle_since: float | None = None
+        while not self.stop_event.is_set():
+            try:
+                status, response = self.client.post(
+                    "/leases", {"worker_id": self.worker_id}
+                )
+            except ServiceError:
+                # Manager gone beyond the client's retry budget after we
+                # were already registered: drain and exit cleanly — a
+                # worker outliving its manager is shutdown, not a bug.
+                self.manager_lost = True
+                break
+            if status != 200:
+                # Manager shutting down or refusing us: back off, retry.
+                if self.stop_event.wait(self.poll_interval_s):
+                    break
+                continue
+            grant = response.get("lease")
+            if grant is None:
+                now = time.monotonic()
+                if not response.get("has_work"):
+                    if self.max_idle_s is not None:
+                        idle_since = idle_since if idle_since is not None else now
+                        if now - idle_since >= self.max_idle_s:
+                            break
+                else:
+                    idle_since = None
+                wait = min(
+                    self.poll_interval_s,
+                    float(response.get("retry_in_s") or self.poll_interval_s),
+                )
+                if self.stop_event.wait(wait):
+                    break
+                continue
+            idle_since = None
+            if self.chaos is not None:
+                self.chaos.on_lease()
+            try:
+                self._execute_and_deliver(grant)
+            except ServiceError:
+                # Could not deliver (manager gone past the retry budget):
+                # the result is lost here but the shard will be re-leased
+                # and re-run — determinism makes that merely wasteful.
+                self.shards_failed += 1
+                self.manager_lost = True
+                break
+        return {
+            "worker_id": self.worker_id,
+            "shards_done": self.shards_done,
+            "shards_failed": self.shards_failed,
+            "leases_lost": self.leases_lost,
+            "manager_lost": self.manager_lost,
+        }
+
+    # ----------------------------------------------------------- internals
+
+    def _execute_and_deliver(self, grant: dict) -> None:
+        heartbeat_done = threading.Event()
+        lease_lost = threading.Event()
+        beat = threading.Thread(
+            target=self._heartbeat,
+            args=(grant["lease_id"], heartbeat_done, lease_lost),
+            name=f"heartbeat-{grant['lease_id']}",
+            daemon=True,
+        )
+        beat.start()
+        try:
+            outcome = self._execute(grant)
+        except Exception as exc:  # defensive: _run_one_pair should not raise
+            heartbeat_done.set()
+            beat.join(timeout=2.0)
+            self.shards_failed += 1
+            self.client.post(
+                "/shards/fail",
+                {
+                    "campaign_id": grant["campaign_id"],
+                    "key": grant["key"],
+                    "worker_id": self.worker_id,
+                    "error": f"worker-side crash: {exc}",
+                },
+            )
+            return
+        heartbeat_done.set()
+        beat.join(timeout=2.0)
+        if lease_lost.is_set():
+            self.leases_lost += 1
+        status, response = self.client.post(
+            "/shards/complete",
+            {
+                "campaign_id": grant["campaign_id"],
+                "key": grant["key"],
+                "worker_id": self.worker_id,
+                "outcome": outcome,
+            },
+        )
+        if status == 200 and not outcome.get("failed"):
+            self.shards_done += 1
+        else:
+            self.shards_failed += 1
+
+    def _execute(self, grant: dict) -> dict:
+        """Run one shard exactly the way the serial campaign loop would."""
+        payload = grant["payload"]
+        scale = _SCALES[payload["scale"]]
+        policy = RetryPolicy(
+            timeout_s=payload.get("timeout_s"),
+            max_retries=int(payload.get("max_retries", 2)),
+        )
+        recorder = IncidentRecorder()
+        watchdog_every = int(payload.get("watchdog_every") or 0)
+        watchdog = WatchdogPolicy(check_every=watchdog_every) if watchdog_every else None
+        machine_cache = (
+            CheckpointStore(self.machine_cache_dir, recorder=recorder)
+            if self.machine_cache_dir
+            else None
+        )
+
+        def run_fn(workload: str, scale_obj, abtb: int):
+            return run_pair(
+                workload,
+                scale_obj,
+                abtb,
+                seed=payload.get("seed"),
+                backend=payload.get("backend", "reference"),
+                recorder=recorder,
+                watchdog=watchdog,
+                machine_cache=machine_cache,
+            )
+
+        outcome = _run_one_pair(
+            grant["key"],
+            payload["workload"],
+            scale,
+            int(payload["abtb"]),
+            policy,
+            run_fn,
+            time.sleep,
+        )
+        outcome["incidents"] = recorder.as_dicts()
+        return outcome
+
+    def _heartbeat(
+        self, lease_id: str, done: threading.Event, lost: threading.Event
+    ) -> None:
+        while not done.wait(self.renew_every_s):
+            try:
+                status, _ = self.client.post(
+                    f"/leases/{lease_id}/renew", {"worker_id": self.worker_id}
+                )
+            except ServiceError:
+                # Manager gone for longer than the client's retry budget:
+                # the lease will expire server-side; keep computing and
+                # deliver anyway once it is back.
+                lost.set()
+                return
+            if status != 200:
+                lost.set()
+                return

@@ -228,17 +228,21 @@ class CheckpointStore:
         return self.root / f"{key}.machine.json"
 
     def load(self, key: str) -> MachineState | None:
-        """The stored state for ``key``, or None (corrupt files count as misses)."""
+        """The stored state for ``key``, or None (corrupt files count as misses).
+
+        Read-and-catch, not exists()-then-read: a concurrent cleaner (or a
+        racing writer's rename) between probe and read would otherwise turn
+        an honest miss into a spurious corruption incident.
+        """
         path = self.path(key)
-        if not path.exists():
-            self.misses += 1
-            return None
         try:
             state = MachineState.load(path)
         except (OSError, ValueError, ConfigError, CheckpointCorruptionError) as exc:
             self.misses += 1
+            reason = getattr(exc, "reason", type(exc).__name__)
+            if reason == "missing":
+                return None  # honest cache miss, not corruption
             if self.recorder is not None:
-                reason = getattr(exc, "reason", type(exc).__name__)
                 self.recorder.record(
                     IncidentKind.CHECKPOINT_CORRUPT,
                     f"machine checkpoint {path.name} failed integrity "
