@@ -23,6 +23,10 @@ Subcommands:
 * ``incidents`` — validate and summarise a JSONL incident log produced
   by ``campaign --incidents-out`` (exit 0 iff schema-valid and every
   ``--require`` kind is present);
+* ``dash --from DIR`` — render the zero-dependency campaign dashboard
+  offline from exported artifacts (``metrics.jsonl``, ``incidents.jsonl``,
+  ``events.jsonl``, ``profile.json``, ``trace.json``) — the same page a
+  running manager serves live at ``GET /dash``;
 * ``serve`` / ``worker`` / ``submit`` — the fault-tolerant campaign
   *service* (see ``docs/SERVICE.md``): ``serve`` runs the manager (REST
   API, lease-based shard queue, write-ahead journal, content-addressed
@@ -152,6 +156,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print()
     for line in obs.profiler.summary_lines(counters):
         print(line)
+    if args.profile_out:
+        obs.profiler.write_json(args.profile_out, top=max(args.top, 20))
+        print(f"observability: wrote {args.profile_out}", file=sys.stderr)
     _report_exports(obs)
     return 0
 
@@ -468,6 +475,24 @@ def _cmd_incidents(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dash(args: argparse.Namespace) -> int:
+    from repro.obs.dashboard import load_snapshot_from_dir, write_dashboard
+
+    try:
+        snapshot = load_snapshot_from_dir(args.artifacts)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    out = write_dashboard(snapshot, args.out)
+    print(
+        f"dash: wrote {out} — {len(snapshot['series'])} series, "
+        f"{len(snapshot['events'])} event(s), "
+        f"{len(snapshot['incidents'])} incident(s)"
+        + (", trampoline profile" if snapshot["profile"] else "")
+    )
+    return 0
+
+
 def _cmd_difftest(args: argparse.Namespace) -> int:
     from repro.difftest import run_matrix
 
@@ -618,6 +643,10 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--requests", type=int, default=80)
     profile.add_argument("--abtb", type=int, default=256)
     profile.add_argument("--top", type=int, default=10, help="call sites to show")
+    profile.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help="write the top-site profile as JSON (feeds 'dash --from')",
+    )
     _add_obs_flags(profile, sample_default=2000)
     profile.set_defaults(func=_cmd_profile)
 
@@ -864,6 +893,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 unless at least one incident of KIND is present (repeatable)",
     )
     incidents.set_defaults(func=_cmd_incidents)
+
+    dash = sub.add_parser(
+        "dash",
+        help="render the campaign dashboard offline from exported artifacts",
+    )
+    dash.add_argument(
+        "--from", dest="artifacts", required=True, metavar="DIR",
+        help="artifact directory (metrics.jsonl / incidents.jsonl / "
+        "events.jsonl / profile.json / trace.json, all optional)",
+    )
+    dash.add_argument(
+        "--out", default="dashboard.html", metavar="PATH",
+        help="output HTML path [default: dashboard.html]",
+    )
+    dash.set_defaults(func=_cmd_dash)
 
     checkpoint = sub.add_parser(
         "checkpoint", help="save / inspect / verify machine-state checkpoints"

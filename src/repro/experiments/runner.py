@@ -150,6 +150,27 @@ def warmup_machine_key(
     )
 
 
+#: How many trace events a progress callback batches before firing —
+#: large enough that the counting wrapper is noise, small enough that a
+#: heartbeat always has fresh numbers.
+PROGRESS_EVERY = 2048
+
+
+def _counted_stream(events, progress, every: int = PROGRESS_EVERY):
+    """Wrap an event stream so ``progress(delta)`` fires every ``every``
+    retired events (plus once at stream end).  Only exists when a caller
+    asked for progress — the disabled path runs the unwrapped stream."""
+    pending = 0
+    for ev in events:
+        pending += 1
+        if pending >= every:
+            progress(pending)
+            pending = 0
+        yield ev
+    if pending:
+        progress(pending)
+
+
 def run_workload(
     config: WorkloadConfig,
     mechanism: TrampolineSkipMechanism | None = None,
@@ -165,6 +186,7 @@ def run_workload(
     backend: str = "reference",
     recorder: IncidentRecorder | None = None,
     watchdog: WatchdogPolicy | None = None,
+    progress=None,
 ) -> RunResult:
     """Run startup + warmup, then measure a steady-state window.
 
@@ -257,15 +279,19 @@ def run_workload(
         else:
             cpu.finalize()
     else:
+        stream = workload.startup_trace()
         if obs is not None:
-            run(obs.instrument(workload.startup_trace(), cpu, obs_label))
-        else:
-            run(workload.startup_trace())
+            stream = obs.instrument(stream, cpu, obs_label)
+        if progress is not None:
+            stream = _counted_stream(stream, progress)
+        run(stream)
         workload.reset_usage_stats()  # Table 3 / Fig 4 cover organic execution
         if warmup_requests:
             stream = workload.trace(warmup_requests, include_marks=False)
             if obs is not None:
                 stream = obs.instrument(stream, cpu, obs_label)
+            if progress is not None:
+                stream = _counted_stream(stream, progress)
             run(stream)
         if dog is not None:
             dog.finalize()
@@ -293,6 +319,8 @@ def run_workload(
     stream = workload.trace(measured_requests, start_id=warmup_requests)
     if obs is not None:
         stream = obs.instrument(stream, cpu, obs_label)
+    if progress is not None:
+        stream = _counted_stream(stream, progress)
     run(stream)
     if dog is not None:
         dog.finalize()
@@ -334,6 +362,7 @@ def run_pair(
     backend: str = "reference",
     recorder: IncidentRecorder | None = None,
     watchdog: WatchdogPolicy | None = None,
+    progress=None,
 ) -> tuple[RunResult, RunResult]:
     """Base vs enhanced over identical traces of a named workload.
 
@@ -370,7 +399,7 @@ def run_pair(
                 cfg, mech, warmup, measured, cpu_config,
                 label=label, obs=obs, obs_label=obs_label,
                 machine_cache=machine_cache, backend=backend,
-                recorder=recorder, watchdog=watchdog,
+                recorder=recorder, watchdog=watchdog, progress=progress,
             )
         )
     base, enhanced = results
@@ -763,6 +792,8 @@ def run_campaign(
     fault_plan: FaultPlan | None = None,
     manifest_path: str | Path | None = None,
     watchdog: WatchdogPolicy | None = None,
+    bus=None,
+    campaign_id: str = "",
 ) -> CampaignResult:
     """Sweep (workload × ABTB size) with timeout, retry and checkpointing.
 
@@ -810,6 +841,12 @@ def run_campaign(
     meaningful with ``backend="batched"``), and ``manifest_path`` writes
     an integrity-checked end-of-campaign manifest including quarantined
     shards and incident counts.
+
+    ``bus`` (a :class:`repro.obs.events.EventBus`) narrates the sweep:
+    one ``campaign_started`` event up front, one ``pair_completed`` /
+    ``pair_failed`` per pair (correlated by ``campaign_id`` and the pair
+    key), and a final ``campaign_complete``.  Default None — the
+    disabled path emits nothing and pays nothing.
     """
     if jobs < 1:
         raise ConfigError(f"jobs must be >= 1, got {jobs}")
@@ -835,6 +872,18 @@ def run_campaign(
     result = CampaignResult(completed=dict(completed))
 
     scale_name = getattr(scale, "name", str(scale))
+    if bus is not None:
+        bus.emit(
+            "campaign_started",
+            f"campaign over {len(workloads)} workload(s) x "
+            f"{len(abtb_sizes)} ABTB size(s) at scale {scale_name} "
+            f"(backend={backend}, jobs={jobs})",
+            campaign_id=campaign_id,
+            workloads=list(workloads),
+            abtb_sizes=list(abtb_sizes),
+            backend=backend,
+            jobs=jobs,
+        )
     tasks: list[tuple[str, str, int]] = []
     for workload in workloads:
         for abtb in abtb_sizes:
@@ -854,12 +903,32 @@ def run_campaign(
             result.failed[key] = outcome["failed"]
             if obs is not None and obs.metrics is not None:
                 obs.metrics.counter("campaign.pairs_failed").inc()
+            if bus is not None:
+                bus.emit(
+                    "pair_failed",
+                    f"pair {key} failed after {outcome['attempts']} "
+                    f"attempt(s): {outcome['failed']}",
+                    severity="warning",
+                    campaign_id=campaign_id,
+                    shard_key=key,
+                    attempts=outcome["attempts"],
+                )
             return
         result.completed[key] = outcome["summary"]
         if obs is not None and obs.metrics is not None:
             obs.metrics.counter("campaign.pairs_completed").inc()
             obs.metrics.series("campaign.speedup").append(
                 float(len(result.completed)), outcome["summary"]["speedup"]
+            )
+        if bus is not None:
+            bus.emit(
+                "pair_completed",
+                f"pair {key} completed "
+                f"(speedup {outcome['summary']['speedup']:.3f})",
+                campaign_id=campaign_id,
+                shard_key=key,
+                attempts=outcome["attempts"],
+                speedup=outcome["summary"]["speedup"],
             )
         if path is not None:
             _save_checkpoint(path, result.completed)
@@ -877,6 +946,18 @@ def run_campaign(
     def finish() -> CampaignResult:
         if manifest_path is not None:
             _write_manifest(manifest_path, result, recorder)
+        if bus is not None:
+            bus.emit(
+                "campaign_complete",
+                f"campaign finished: {len(result.completed)} completed, "
+                f"{len(result.failed)} failed, "
+                f"{len(result.quarantined)} quarantined",
+                severity="warning" if result.failed or result.quarantined else "info",
+                campaign_id=campaign_id,
+                completed=len(result.completed),
+                failed=len(result.failed),
+                quarantined=len(result.quarantined),
+            )
         return result
 
     def make_task(key: str, workload: str, abtb: int) -> dict:

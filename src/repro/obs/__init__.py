@@ -24,6 +24,13 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from repro.isa.events import TraceEvent
+from repro.obs.dashboard import (
+    load_snapshot_from_dir,
+    render_dashboard,
+    snapshot_from_manager,
+    write_dashboard,
+)
+from repro.obs.events import Event, EventBus, downsample, load_event_log
 from repro.obs.metrics import (
     DEFAULT_SAMPLED_FIELDS,
     Counter,
@@ -218,6 +225,8 @@ __all__ = [
     "ChainedHooks",
     "Counter",
     "DEFAULT_SAMPLED_FIELDS",
+    "Event",
+    "EventBus",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -227,8 +236,14 @@ __all__ = [
     "TimeSeries",
     "Tracer",
     "TrampolineProfiler",
+    "downsample",
     "emit_request_spans",
+    "load_event_log",
+    "load_snapshot_from_dir",
+    "render_dashboard",
     "sampled",
+    "snapshot_from_manager",
     "validate_chrome_trace",
     "warmup_shape",
+    "write_dashboard",
 ]

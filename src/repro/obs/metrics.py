@@ -277,34 +277,38 @@ class MetricsRegistry:
         return "\n".join(lines) + ("\n" if lines else "")
 
     def to_prometheus(self) -> str:
-        """Prometheus text exposition format.
+        """Prometheus text exposition format (fully compliant).
 
-        Series export their most recent value as a gauge (Prometheus
-        scrapes are point-in-time); the full history lives in the JSONL
-        export.
+        Every family gets a ``# HELP`` (the metric's help text, or a
+        generated placeholder — the exposition format expects HELP before
+        TYPE for each family) and a ``# TYPE``; histograms emit
+        cumulative ``le`` buckets ending in ``+Inf`` plus ``_sum`` and
+        ``_count``.  Series export their most recent value as a gauge
+        (Prometheus scrapes are point-in-time); the full history lives in
+        the JSONL export.
         """
         out: list[str] = []
+
+        def _family(prom: str, help_text: str, kind: str) -> None:
+            text = help_text or f"repro metric {prom}"
+            out.append(f"# HELP {prom} {_prom_escape_help(text)}")
+            out.append(f"# TYPE {prom} {kind}")
+
         for name in self.names():
             metric = self._metrics[name]
             prom = _prom_name(name)
             if isinstance(metric, (Counter, Gauge)):
-                if metric.help:
-                    out.append(f"# HELP {prom} {metric.help}")
-                out.append(f"# TYPE {prom} {metric.kind}")
+                _family(prom, metric.help, metric.kind)
                 out.append(f"{prom} {_prom_value(metric.value)}")
             elif isinstance(metric, Histogram):
-                if metric.help:
-                    out.append(f"# HELP {prom} {metric.help}")
-                out.append(f"# TYPE {prom} histogram")
+                _family(prom, metric.help, "histogram")
                 for bound, count in zip(metric.buckets, metric.cumulative_counts()):
-                    out.append(f'{prom}_bucket{{le="{bound}"}} {count}')
+                    out.append(f'{prom}_bucket{{le="{_prom_value(bound)}"}} {count}')
                 out.append(f'{prom}_bucket{{le="+Inf"}} {metric.count}')
                 out.append(f"{prom}_sum {_prom_value(metric.sum)}")
                 out.append(f"{prom}_count {metric.count}")
             elif isinstance(metric, TimeSeries):
-                if metric.help:
-                    out.append(f"# HELP {prom} {metric.help}")
-                out.append(f"# TYPE {prom} gauge")
+                _family(prom, metric.help, "gauge")
                 last = metric.values()[-1] if len(metric) else 0.0
                 out.append(f"{prom} {_prom_value(last)}")
         return "\n".join(out) + ("\n" if out else "")
@@ -338,8 +342,15 @@ class MetricsRegistry:
 
 
 def _prom_name(name: str) -> str:
-    """Sanitise a metric name for Prometheus (dots/dashes → underscores)."""
-    return "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    """Sanitise a metric name for Prometheus (dots/dashes → underscores;
+    a leading digit gets an underscore prefix per the name grammar)."""
+    safe = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    return f"_{safe}" if safe[:1].isdigit() else safe
+
+
+def _prom_escape_help(text: str) -> str:
+    """Escape a HELP string (backslash and newline, per the format spec)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _prom_value(value: float) -> str:

@@ -174,6 +174,36 @@ class TrampolineProfiler(CPUHooks):
             )
         return table
 
+    def as_dicts(self, top: int = 10) -> list[dict]:
+        """JSON-safe top-N site records (the dashboard's hot-trampoline
+        table; same ordering as :meth:`table`)."""
+        return [
+            {
+                "site_pc": f"{stats.site_pc:#x}",
+                "symbol": self.name_of(stats.site_pc),
+                "calls": stats.calls,
+                "skipped": stats.skipped,
+                "skip_rate": round(stats.skip_rate, 4),
+                "instructions": stats.instructions,
+                "got_loads": stats.got_loads,
+                "abtb_hit_rate": round(stats.abtb_hit_rate, 4),
+                "mispredictions": stats.mispredictions,
+            }
+            for stats in self.top_sites(top)
+        ]
+
+    def write_json(self, path, top: int = 20) -> None:
+        """Write the top-N profile as JSON (consumed by ``repro dash``)."""
+        import json
+        from pathlib import Path
+
+        payload = {
+            "sites": self.as_dicts(top),
+            "total_instructions": self.total_instructions(),
+            "attributed_instructions": self.attributed_instructions(),
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
     def summary_lines(self, counters: PerfCounters | None = None) -> list[str]:
         """Human-readable attribution summary printed under the table."""
         total_sites = len(self.sites)

@@ -157,12 +157,18 @@ class IncidentRecorder:
     Args:
         metrics: a :class:`repro.obs.metrics.MetricsRegistry` (or None).
         tracer: a :class:`repro.obs.tracer.Tracer` (or None).
+        bus: a :class:`repro.obs.events.EventBus` (or None) — every
+            incident also lands on the bus as an ``incident`` event, so
+            anything that records through this recorder (the supervisor,
+            the divergence watchdog, the campaign manager) shows up in
+            the live ``/events`` stream without knowing the bus exists.
         clock: timestamp source (overridable for deterministic tests).
     """
 
-    def __init__(self, metrics=None, tracer=None, clock=time.time) -> None:
+    def __init__(self, metrics=None, tracer=None, bus=None, clock=time.time) -> None:
         self.metrics = metrics
         self.tracer = tracer
+        self.bus = bus
         self._clock = clock
         self.incidents: list[Incident] = []
 
@@ -202,6 +208,17 @@ class IncidentRecorder:
                 severity=incident.severity,
                 message=incident.message,
                 **incident.context,
+            )
+        if self.bus is not None:
+            ctx = incident.context
+            self.bus.emit(
+                "incident",
+                incident.message,
+                severity=incident.severity,
+                campaign_id=str(ctx.get("campaign_id", "")),
+                shard_key=str(ctx.get("key", ctx.get("shard_key", ""))),
+                worker_id=str(ctx.get("worker_id", "")),
+                incident_kind=incident.kind,
             )
 
     def extend_dicts(self, records: list[dict] | None) -> int:

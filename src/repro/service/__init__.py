@@ -39,6 +39,7 @@ from repro.service.schemas import (
     LeaseRequest,
     RegisterRequest,
     RenewRequest,
+    ShardProgress,
 )
 from repro.service.store import RESULT_SCHEMA, ResultStore, shard_result_key
 from repro.service.worker import WorkerAgent, WorkerChaos
@@ -58,6 +59,7 @@ __all__ = [
     "RenewRequest",
     "ResultStore",
     "ShardPhase",
+    "ShardProgress",
     "WorkerAgent",
     "WorkerChaos",
     "shard_result_key",

@@ -31,6 +31,7 @@ from pathlib import Path
 
 from repro.errors import ServiceError
 from repro.experiments.runner import CampaignResult, pair_key
+from repro.obs.events import EventBus
 from repro.obs.metrics import MetricsRegistry
 from repro.resilience.incidents import IncidentKind, IncidentRecorder
 from repro.resilience.supervisor import SupervisorPolicy
@@ -103,6 +104,8 @@ class CampaignManager:
             policy vocabulary from PR 5).
         recorder: incident recorder (one is created when omitted).
         metrics: metrics registry for ``/metrics`` (created when omitted).
+        bus: event bus for ``/events`` (created when omitted; incidents
+            recorded through ``recorder`` are mirrored onto it).
         clock: monotonic time source for leases (injectable for tests).
         snapshot_every: journal appends between automatic snapshots.
     """
@@ -113,6 +116,7 @@ class CampaignManager:
         policy: SupervisorPolicy | None = None,
         recorder: IncidentRecorder | None = None,
         metrics: MetricsRegistry | None = None,
+        bus: EventBus | None = None,
         clock=time.monotonic,
         snapshot_every: int = 50,
     ) -> None:
@@ -120,9 +124,13 @@ class CampaignManager:
         self.policy = policy or SupervisorPolicy()
         self.recorder = recorder if recorder is not None else IncidentRecorder()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.bus = bus if bus is not None else EventBus(metrics=self.metrics)
+        if self.recorder.bus is None:
+            self.recorder.bus = self.bus
         self.clock = clock
         self.snapshot_every = max(1, snapshot_every)
         self._lock = threading.RLock()
+        self._progress: dict[tuple[str, str], dict] = {}  # (cid, key) -> progress
         self.store = ResultStore(self.data_dir / "results", recorder=self.recorder)
         self.journal = Journal(self.data_dir / "journal")
         self.queue = LeaseQueue(self.policy, clock=clock)
@@ -281,6 +289,14 @@ class CampaignManager:
                 else:
                     self.queue.add(self._qkey(cid, meta.key), meta.payload)
             self.metrics.counter("service.campaigns_submitted").inc()
+            self.bus.emit(
+                "campaign_submitted",
+                f"campaign {cid} submitted ({len(campaign.shards)} shard(s), "
+                f"backend={spec.backend}, scale={spec.scale})",
+                campaign_id=cid,
+                shards=len(campaign.shards),
+                backend=spec.backend,
+            )
             self._refresh_gauges()
             return cid
 
@@ -296,6 +312,12 @@ class CampaignManager:
             for meta in campaign.shards.values():
                 self.queue.discard(self._qkey(campaign_id, meta.key))
             self.metrics.counter("service.campaigns_cancelled").inc()
+            self.bus.emit(
+                "campaign_cancelled",
+                f"campaign {campaign_id} cancelled",
+                severity="warning",
+                campaign_id=campaign_id,
+            )
             self._refresh_gauges()
             return True
 
@@ -356,6 +378,11 @@ class CampaignManager:
                 "registered_at": self.clock(),
             }
             self.metrics.counter("service.workers_registered").inc()
+            self.bus.emit(
+                "worker_registered",
+                f"worker {worker_id} registered",
+                worker_id=worker_id,
+            )
             return {
                 "worker_id": worker_id,
                 "lease_ttl_s": self.policy.shard_deadline_s,
@@ -374,6 +401,16 @@ class CampaignManager:
             cid, key = self._split_qkey(lease.key)
             self._lease_index[lease.lease_id] = (cid, key)
             self.metrics.counter("service.leases_granted").inc()
+            self.bus.emit(
+                "shard_leased",
+                f"shard {key} leased to {worker_id} "
+                f"(attempt {lease.attempt}, lease {lease.lease_id})",
+                campaign_id=cid,
+                shard_key=key,
+                worker_id=worker_id,
+                lease_id=lease.lease_id,
+                attempt=lease.attempt,
+            )
             return {
                 "lease_id": lease.lease_id,
                 "campaign_id": cid,
@@ -384,14 +421,51 @@ class CampaignManager:
                 "renew_every_s": self.policy.shard_deadline_s / 3.0,
             }
 
-    def renew(self, lease_id: str, worker_id: str) -> dict | None:
+    def renew(
+        self, lease_id: str, worker_id: str, progress: dict | None = None
+    ) -> dict | None:
+        """Extend a lease; optionally banks the heartbeat's shard progress
+        (events retired, current workload, backend in use) so lease rows
+        and the dashboard show live progress instead of just lease age."""
         with self._lock:
             self._check_open()
             renewed = self.queue.renew(lease_id, worker_id)
             if renewed is None:
                 return None
             self.metrics.counter("service.leases_renewed").inc()
+            if progress:
+                self._bank_progress(lease_id, worker_id, progress)
             return {"lease_id": lease_id, "ttl_s": self.policy.shard_deadline_s}
+
+    def _bank_progress(self, lease_id: str, worker_id: str, progress: dict) -> None:
+        entry = self._lease_index.get(lease_id)
+        if entry is None:
+            return
+        cid, key = entry
+        record = {
+            "events_done": int(progress.get("events_done", 0)),
+            "workload": str(progress.get("workload", "")),
+            "backend": str(progress.get("backend", "")),
+            "updated_at": self.clock(),
+        }
+        self._progress[(cid, key)] = record
+        worker = self.workers.get(worker_id)
+        if worker is not None:
+            worker["last_progress"] = {**record, "campaign_id": cid, "key": key}
+        self.bus.emit(
+            "shard_progress",
+            f"shard {key}: {record['events_done']} event(s) retired "
+            f"({record['backend'] or 'unknown backend'})",
+            campaign_id=cid,
+            shard_key=key,
+            worker_id=worker_id,
+            events_done=record["events_done"],
+            workload=record["workload"],
+            backend=record["backend"],
+        )
+        self.metrics.series("service.progress.events_done").append(
+            self.clock(), float(record["events_done"])
+        )
 
     def complete(self, request: CompleteRequest) -> dict:
         """Bank one shard outcome (idempotent; see CompleteRequest doc)."""
@@ -577,13 +651,42 @@ class CampaignManager:
         meta.state = "completed"
         meta.attempts = attempts
         meta.last_error = ""
+        self._progress.pop((campaign.campaign_id, meta.key), None)
         self.metrics.counter("service.shards_completed").inc()
         if deduped:
             self.metrics.counter("service.shards_deduped").inc()
+        done_count = sum(
+            1 for m in campaign.shards.values() if m.state == "completed"
+        )
+        self.metrics.series(
+            f"service.campaign.{campaign.campaign_id}.completed"
+        ).append(self.clock(), float(done_count))
+        self.bus.emit(
+            "shard_completed",
+            f"shard {meta.key} completed by {worker_id} "
+            f"(attempt {attempts}{', deduped' if deduped else ''})",
+            campaign_id=campaign.campaign_id,
+            shard_key=meta.key,
+            worker_id=worker_id,
+            attempts=attempts,
+            deduped=deduped,
+        )
         if campaign.done:
             self.metrics.counter("service.campaigns_completed").inc()
+            self._emit_campaign_done(campaign)
         self._refresh_gauges()
         return "healed" if queue_status == "healed" else "completed"
+
+    def _emit_campaign_done(self, campaign: _Campaign) -> None:
+        state = campaign.state_name()
+        self.bus.emit(
+            "campaign_complete",
+            f"campaign {campaign.campaign_id} finished: {state} "
+            f"({len(campaign.shards)} shard(s))",
+            severity="warning" if state == "degraded" else "info",
+            campaign_id=campaign.campaign_id,
+            state=state,
+        )
 
     def _record_failure(
         self, campaign: _Campaign, meta: _ShardMeta, error: str, worker_id: str
@@ -631,6 +734,7 @@ class CampaignManager:
             self._qkey(campaign.campaign_id, meta.key), meta.last_error
         )
         meta.state = "quarantined"
+        self._progress.pop((campaign.campaign_id, meta.key), None)
         self.metrics.counter("service.shards_quarantined").inc()
         self.recorder.record(
             IncidentKind.SHARD_QUARANTINED,
@@ -640,6 +744,8 @@ class CampaignManager:
             campaign_id=campaign.campaign_id,
             failures=meta.failures,
         )
+        if campaign.done:
+            self._emit_campaign_done(campaign)
         self._refresh_gauges()
 
     def _status_dict(self, campaign: _Campaign) -> dict:
@@ -692,3 +798,56 @@ class CampaignManager:
         counts = self.queue.counts()
         self.metrics.gauge("service.shards_pending").set(float(counts["pending"]))
         self.metrics.gauge("service.shards_leased").set(float(counts["leased"]))
+        # Mirror the queue depths as time series so /timeseries (and the
+        # dashboard's live charts) can show the campaign converging, not
+        # just its current value.
+        t = self.clock()
+        self.metrics.series("service.queue.pending").append(t, float(counts["pending"]))
+        self.metrics.series("service.queue.leased").append(t, float(counts["leased"]))
+        self.metrics.series("service.active_campaigns").append(t, float(active))
+
+    # ---------------------------------------------------------- telemetry
+
+    def leases(self) -> list[dict]:
+        """Live lease rows (soft state) with any banked progress."""
+        with self._lock:
+            now = self.clock()
+            rows = []
+            for lease in self.queue.live_leases():
+                cid, key = self._split_qkey(lease.key)
+                row = {
+                    "lease_id": lease.lease_id,
+                    "campaign_id": cid,
+                    "key": key,
+                    "worker_id": lease.worker_id,
+                    "attempt": lease.attempt,
+                    "expires_in_s": round(lease.expires_at - now, 3),
+                }
+                progress = self._progress.get((cid, key))
+                if progress is not None:
+                    row["progress"] = {
+                        **progress,
+                        "age_s": round(now - progress["updated_at"], 3),
+                    }
+                rows.append(row)
+            return rows
+
+    def telemetry(self) -> dict:
+        """One consistent snapshot for the dashboard (``/dash/data``)."""
+        with self._lock:
+            return {
+                "campaigns": [self._status_dict(c) for c in self.campaigns.values()],
+                "leases": self.leases(),
+                "workers": [
+                    {
+                        "worker_id": wid,
+                        "name": info.get("name", ""),
+                        "shards_completed": info.get("shards_completed", 0),
+                        "last_progress": info.get("last_progress"),
+                    }
+                    for wid, info in self.workers.items()
+                ],
+                "incident_counts": self.recorder.counts(),
+                "incidents": self.recorder.as_dicts()[-50:],
+                "last_seq": self.bus.last_seq,
+            }

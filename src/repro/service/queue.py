@@ -263,6 +263,10 @@ class LeaseQueue:
         shard = self._shards.get(key)
         return shard.last_error if shard is not None else ""
 
+    def live_leases(self) -> list[Lease]:
+        """Snapshot of currently-held leases (soft state, for telemetry)."""
+        return list(self._leases.values())
+
     def has_work(self) -> bool:
         """True while any shard is pending or leased."""
         return any(

@@ -206,17 +206,65 @@ class LeaseRequest:
 
 
 @dataclass(frozen=True)
+class ShardProgress:
+    """Optional per-shard progress a heartbeat may carry.
+
+    ``events_done`` is the count of trace events the worker has retired
+    so far on its current shard; ``workload`` / ``backend`` name what it
+    is running and on which engine.  All fields default to "unknown" so
+    old workers that renew without progress remain valid.
+    """
+
+    events_done: int = 0
+    workload: str = ""
+    backend: str = ""
+
+    @classmethod
+    def from_dict(cls, data: object) -> "ShardProgress":
+        what = "shard progress"
+        data = _require_dict(data, what)
+        _reject_unknown(data, {"events_done", "workload", "backend"}, what)
+        events_done = data.get("events_done", 0)
+        if isinstance(events_done, bool) or not isinstance(events_done, int):
+            raise SchemaError(f"{what}: 'events_done' must be an integer")
+        if events_done < 0:
+            raise SchemaError(f"{what}: 'events_done' must be >= 0, got {events_done}")
+        workload = data.get("workload", "")
+        backend = data.get("backend", "")
+        if not isinstance(workload, str) or not isinstance(backend, str):
+            raise SchemaError(f"{what}: 'workload' and 'backend' must be strings")
+        return cls(events_done=events_done, workload=workload, backend=backend)
+
+    def as_dict(self) -> dict:
+        return {
+            "events_done": self.events_done,
+            "workload": self.workload,
+            "backend": self.backend,
+        }
+
+
+@dataclass(frozen=True)
 class RenewRequest:
-    """``POST /leases/<id>/renew`` body."""
+    """``POST /leases/<id>/renew`` body (progress is optional)."""
 
     worker_id: str
+    progress: ShardProgress | None = None
 
     @classmethod
     def from_dict(cls, data: object) -> "RenewRequest":
         what = "renew request"
         data = _require_dict(data, what)
-        _reject_unknown(data, {"worker_id"}, what)
-        return cls(worker_id=_str_field(data, "worker_id", what))
+        _reject_unknown(data, {"worker_id", "progress"}, what)
+        progress_data = data.get("progress")
+        progress = (
+            ShardProgress.from_dict(progress_data)
+            if progress_data is not None
+            else None
+        )
+        return cls(
+            worker_id=_str_field(data, "worker_id", what),
+            progress=progress,
+        )
 
 
 @dataclass(frozen=True)

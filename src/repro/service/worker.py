@@ -116,6 +116,37 @@ def _decode(raw: bytes) -> dict:
     return payload if isinstance(payload, dict) else {}
 
 
+class _ProgressTracker:
+    """Thread-safe shard progress shared between the execute path (which
+    adds retired-event counts via :func:`repro.experiments.runner.
+    run_workload`'s gated ``progress`` hook) and the heartbeat thread
+    (which snapshots it into each renew body)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.events_done = 0
+        self.workload = ""
+        self.backend = ""
+
+    def begin(self, workload: str, backend: str) -> None:
+        with self._lock:
+            self.events_done = 0
+            self.workload = workload
+            self.backend = backend
+
+    def add(self, n: int) -> None:
+        with self._lock:
+            self.events_done += int(n)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "events_done": self.events_done,
+                "workload": self.workload,
+                "backend": self.backend,
+            }
+
+
 @dataclass
 class WorkerChaos:
     """Fault injection for drills: die or wedge after the Nth lease.
@@ -175,6 +206,7 @@ class WorkerAgent:
         self.stop_event = stop_event if stop_event is not None else threading.Event()
         self.worker_id = ""
         self.renew_every_s = 1.0
+        self.progress = _ProgressTracker()
         self.shards_done = 0
         self.shards_failed = 0
         self.leases_lost = 0
@@ -293,6 +325,9 @@ class WorkerAgent:
     def _execute(self, grant: dict) -> dict:
         """Run one shard exactly the way the serial campaign loop would."""
         payload = grant["payload"]
+        self.progress.begin(
+            payload.get("workload", ""), payload.get("backend", "reference")
+        )
         scale = _SCALES[payload["scale"]]
         policy = RetryPolicy(
             timeout_s=payload.get("timeout_s"),
@@ -317,6 +352,7 @@ class WorkerAgent:
                 recorder=recorder,
                 watchdog=watchdog,
                 machine_cache=machine_cache,
+                progress=self.progress.add,
             )
 
         outcome = _run_one_pair(
@@ -337,7 +373,11 @@ class WorkerAgent:
         while not done.wait(self.renew_every_s):
             try:
                 status, _ = self.client.post(
-                    f"/leases/{lease_id}/renew", {"worker_id": self.worker_id}
+                    f"/leases/{lease_id}/renew",
+                    {
+                        "worker_id": self.worker_id,
+                        "progress": self.progress.snapshot(),
+                    },
                 )
             except ServiceError:
                 # Manager gone for longer than the client's retry budget:
