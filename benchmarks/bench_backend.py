@@ -1,31 +1,40 @@
-"""End-to-end speedup of the batched backend over the reference interpreter.
+"""End-to-end speedup of the array-native trace pipeline.
 
-The backend's contract has two halves:
+Until the structured-array refactor, this benchmark timed the batched
+backend against the reference interpreter over a pre-materialised event
+list — pure retirement, with generation cost outside the timer.  That
+understated what the pipeline actually buys: in a campaign, the legacy
+path pays Python-iterator *generation* plus reference *interpretation*
+on every run, while the array-native path loads codec-serialised
+:class:`~repro.trace.batch.TraceBatch` bytes and retires them in bulk.
+The benchmark now times those two real arms:
 
-* **Correctness** — counter-for-counter equality with the reference
-  interpreter, enforced by :mod:`repro.difftest` (and re-asserted here on
-  every timed profile: a fast-but-wrong backend must fail the benchmark,
-  not record a number).
-* **Speed** — the batched backend must beat the reference interpreter by
-  a real margin on the *long* workload profiles, where the vectorized
-  decode and the tight fast loop amortise.  The issue's bound is >= 1.5x
-  (target 2x) end-to-end.
+* **legacy arm** — fresh workload generators feed the reference
+  interpreter event by event (generation + simulation, exactly what a
+  pre-refactor campaign run did);
+* **stream arm** — the serialised batches are decoded from in-memory
+  bytes and driven through ``BatchedBackend.run_batches`` (codec decode
+  is inside the timer — it is real cost the pipeline pays every run).
 
-Methodology notes, learned the hard way on noisy shared machines:
+The one-time cost of generating and serialising the batches is measured
+and recorded (``generate_and_save_s``) but not charged to the stream
+arm: a campaign amortises it over base + enhanced runs and every ABTB
+sweep point (the trace key excludes both), so even a minimal pair reuses
+it once and a sweep reuses it 2 x N times.
 
-* traces are materialised **once** per profile and replayed from memory,
-  so both arms time pure simulation over identical events (batch decode
-  is part of the fast arm — it is real cost the backend pays);
-* each arm is timed with ``time.process_time`` (CPU time — immune to
-  scheduler preemption) under GC hygiene (``gc.freeze`` + ``gc.disable``
-  around the timed region), min-of-``REPRO_BENCH_REPEATS`` runs;
-* the acceptance gate is the **best profile's** speedup (>=
-  ``REPRO_BENCH_MIN_SPEEDUP``, default 1.5) plus a secondary aggregate
-  floor (>= ``REPRO_BENCH_MIN_AGGREGATE``, default 1.15).  Per-profile
-  minima are the noise-robust statistic: the aggregate mixes profiles
-  whose event mix genuinely bounds vectorization benefit (shared
-  dict-LRU eviction cost is a floor both arms pay), and asserting on it
-  alone made the gate flap on loaded CI runners.
+Correctness is re-asserted on every timed profile — both arms must
+finish with identical full ``CPU.snapshot()`` state, so a fast-but-wrong
+pipeline fails the benchmark instead of recording a number.
+
+Gate discipline (this bit used to be inconsistent — the recorded bounds
+and the enforced asserts have to be the same thing): **every** profile
+must clear ``min_profile_bound`` (``REPRO_BENCH_MIN_SPEEDUP``, default
+1.5) and the aggregate (total legacy seconds / total stream seconds)
+must clear ``min_aggregate_bound`` (``REPRO_BENCH_MIN_AGGREGATE``,
+default 3.0, the issue's pipeline target).  Timing uses
+``time.process_time`` (CPU time — immune to scheduler preemption),
+min-of-``REPRO_BENCH_REPEATS`` runs, with GC frozen and disabled around
+the timed regions.
 
 Numbers land in ``benchmarks/output/backend.json`` for EXPERIMENTS.md.
 Run with ``pytest benchmarks/bench_backend.py -q -s``; scale the request
@@ -35,12 +44,14 @@ counts with ``REPRO_BENCH_SCALE`` (float multiplier, default 1).
 from __future__ import annotations
 
 import gc
+import itertools
 import json
 import os
 import pathlib
 import time
 
 from repro.core import MechanismConfig, TrampolineSkipMechanism
+from repro.trace.batch import TraceBatch
 from repro.trace.engine import LinkMode
 from repro.uarch import CPU
 from repro.uarch.backend import BatchedBackend
@@ -51,8 +62,8 @@ OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
 REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
-MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "1.5"))
-MIN_AGGREGATE = float(os.environ.get("REPRO_BENCH_MIN_AGGREGATE", "1.15"))
+MIN_PROFILE = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "1.5"))
+MIN_AGGREGATE = float(os.environ.get("REPRO_BENCH_MIN_AGGREGATE", "3.0"))
 BATCH_EVENTS = 4096
 
 #: Long profiles: (workload, requests, abtb_entries-or-None-for-base).
@@ -64,12 +75,8 @@ PROFILES = (
 )
 
 
-def _events(workload: str, requests: int) -> list:
-    cfg = ALL_WORKLOADS[workload].config()
-    wl = Workload(cfg, LinkMode.DYNAMIC)
-    events = list(wl.startup_trace())
-    events.extend(wl.trace(requests))
-    return events
+def _make_workload(workload: str) -> Workload:
+    return Workload(ALL_WORKLOADS[workload].config(), LinkMode.DYNAMIC)
 
 
 def _make_cpu(abtb: int | None) -> CPU:
@@ -101,50 +108,77 @@ def _time_arm(run_once) -> tuple[float, CPU]:
 
 
 def _bench_profile(workload: str, requests: int, abtb: int | None) -> dict:
-    events = _events(workload, max(1, int(requests * SCALE)))
+    requests = max(1, int(requests * SCALE))
 
-    def reference_once() -> CPU:
+    # One-time pipeline cost: array-native generation + codec serialise.
+    # Charged once per workload recipe in a real campaign, so recorded
+    # separately rather than inside the per-run stream arm.
+    start = time.process_time()
+    wl = _make_workload(workload)
+    startup_raw = wl.startup_batch().to_bytes()
+    trace_raw = wl.trace_batch(requests).to_bytes()
+    generate_and_save_s = time.process_time() - start
+    n_events = (
+        len(TraceBatch.from_bytes(startup_raw).data)
+        + len(TraceBatch.from_bytes(trace_raw).data)
+    )
+
+    def legacy_once() -> CPU:
+        # What every pre-refactor campaign run paid: stateful iterator
+        # generation feeding the reference interpreter, event by event.
+        w = _make_workload(workload)
         cpu = _make_cpu(abtb)
-        cpu.run(events)
+        cpu.run(itertools.chain(w.startup_trace(), w.trace(requests)))
         return cpu
 
-    def batched_once() -> CPU:
+    def stream_once() -> CPU:
+        # What an array-native run pays: codec decode + bulk retirement.
         cpu = _make_cpu(abtb)
-        BatchedBackend(cpu, BATCH_EVENTS).run(iter(events))
+        BatchedBackend(cpu, BATCH_EVENTS).run_batches(
+            (TraceBatch.from_bytes(startup_raw), TraceBatch.from_bytes(trace_raw))
+        )
         return cpu
 
-    ref_s, ref_cpu = _time_arm(reference_once)
-    fast_s, fast_cpu = _time_arm(batched_once)
-    # A fast-but-wrong backend must fail here, not record a speedup.
-    assert ref_cpu.snapshot() == fast_cpu.snapshot(), (
-        f"{workload}: batched backend diverged from reference"
+    legacy_s, legacy_cpu = _time_arm(legacy_once)
+    stream_s, stream_cpu = _time_arm(stream_once)
+    # A fast-but-wrong pipeline must fail here, not record a speedup.
+    assert legacy_cpu.snapshot() == stream_cpu.snapshot(), (
+        f"{workload}: array-native pipeline diverged from the legacy path"
     )
     return {
         "workload": workload,
         "config": "base" if abtb is None else f"abtb={abtb}",
-        "events": len(events),
-        "reference_s": round(ref_s, 4),
-        "batched_s": round(fast_s, 4),
-        "speedup": round(ref_s / fast_s, 4) if fast_s else float("inf"),
+        "events": n_events,
+        "trace_bytes": len(startup_raw) + len(trace_raw),
+        "generate_and_save_s": round(generate_and_save_s, 4),
+        "legacy_s": round(legacy_s, 4),
+        "stream_s": round(stream_s, 4),
+        "speedup": round(legacy_s / stream_s, 4) if stream_s else float("inf"),
     }
 
 
-def test_batched_backend_speedup():
-    """Reference vs batched on the long profiles; record + gate."""
+def test_trace_pipeline_speedup():
+    """Legacy generate+interpret vs codec-load+batch-retire; record + gate."""
     profiles = [_bench_profile(*profile) for profile in PROFILES]
-    total_ref = sum(p["reference_s"] for p in profiles)
-    total_fast = sum(p["batched_s"] for p in profiles)
-    aggregate = total_ref / total_fast if total_fast else float("inf")
-    best = max(p["speedup"] for p in profiles)
+    total_legacy = sum(p["legacy_s"] for p in profiles)
+    total_stream = sum(p["stream_s"] for p in profiles)
+    aggregate = total_legacy / total_stream if total_stream else float("inf")
+    worst = min(p["speedup"] for p in profiles)
     record = {
         "scale": SCALE,
         "repeats": REPEATS,
         "batch_events": BATCH_EVENTS,
         "clock": "process_time (min of repeats, gc frozen+disabled)",
+        "arms": {
+            "legacy": "iterator generation + reference interpreter",
+            "stream": "codec decode + BatchedBackend.run_batches",
+        },
         "profiles": profiles,
         "aggregate_speedup": round(aggregate, 4),
-        "best_profile_speedup": round(best, 4),
-        "min_speedup_bound": MIN_SPEEDUP,
+        "worst_profile_speedup": round(worst, 4),
+        # Both bounds below are asserted verbatim at the end of this test;
+        # a recorded bound is never looser or stricter than the gate.
+        "min_profile_bound": MIN_PROFILE,
         "min_aggregate_bound": MIN_AGGREGATE,
     }
     OUTPUT_DIR.mkdir(exist_ok=True)
@@ -152,16 +186,19 @@ def test_batched_backend_speedup():
     for p in profiles:
         print(
             f"\n{p['workload']:<10} {p['config']:<9} {p['events']:>8} events  "
-            f"ref {p['reference_s']:.3f}s  batched {p['batched_s']:.3f}s  "
-            f"x{p['speedup']:.2f}",
+            f"legacy {p['legacy_s']:.3f}s  stream {p['stream_s']:.3f}s  "
+            f"x{p['speedup']:.2f}  (gen+save {p['generate_and_save_s']:.3f}s)",
             end="",
         )
-    print(f"\naggregate x{aggregate:.2f} | best x{best:.2f} | bounds "
-          f"best>={MIN_SPEEDUP} aggregate>={MIN_AGGREGATE}")
-    assert best >= MIN_SPEEDUP, (
-        f"best-profile speedup x{best:.2f} below bound x{MIN_SPEEDUP}; "
-        "the batched hot path regressed"
+    print(
+        f"\naggregate x{aggregate:.2f} | worst x{worst:.2f} | bounds "
+        f"every-profile>={MIN_PROFILE} aggregate>={MIN_AGGREGATE}"
     )
+    for p in profiles:
+        assert p["speedup"] >= MIN_PROFILE, (
+            f"{p['workload']}/{p['config']}: pipeline speedup x{p['speedup']:.2f} "
+            f"below per-profile bound x{MIN_PROFILE}"
+        )
     assert aggregate >= MIN_AGGREGATE, (
-        f"aggregate speedup x{aggregate:.2f} below floor x{MIN_AGGREGATE}"
+        f"aggregate pipeline speedup x{aggregate:.2f} below bound x{MIN_AGGREGATE}"
     )

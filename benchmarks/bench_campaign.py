@@ -1,20 +1,24 @@
-"""Wall-clock budget for the sharded campaign runner.
+"""Wall-clock budget for the sharded, cache-backed campaign runner.
 
 The parallel campaign's contract has two halves:
 
-* **Correctness** — a sharded campaign produces byte-identical numbers to
-  the serial one (held by ``tests/test_snapshot.py`` and the CI smoke
-  job, not re-asserted here).
-* **Speed** — a campaign that can reuse checkpointed warm-up state must
-  beat a cold serial campaign by a real margin.  This benchmark measures
-  that margin and asserts the acceptance bound (>= 1.5x at ``--jobs 4``
-  with a warm machine cache).
+* **Correctness** — a sharded campaign produces byte-identical numbers
+  to the serial one, and the batched backend plus the trace/machine
+  caches never shift a counter (re-asserted here: all arms must agree
+  summary-for-summary).
+* **Speed** — a ``--jobs 4`` campaign running the array-native pipeline
+  (batched backend + content-addressed trace store + warm-machine
+  checkpoints) must beat the plain serial reference campaign **from a
+  cold cache** by >= 1.5x, and from a warm cache by the same bound with
+  margin.  Cold is the honest number: it includes generating each
+  workload's trace once, serialising it, and filling the machine cache
+  — the one-time costs the old benchmark recorded as a < 1x "cold"
+  arm.  The trace store turns those from per-run costs into per-recipe
+  costs (base + enhanced and every ABTB size share one bundle), which
+  is what moves cold past the bound.
 
-The workload mix is deliberately warm-up heavy (``startup`` dominates
-``steady``): that is the regime the machine cache targets, because the
-warm-up prefix of every (workload, mode) pair is simulated once, saved
-as a :class:`~repro.uarch.MachineState`, and every later ABTB size
-restores it instead of re-simulating.  Numbers are written to
+The workload mix is warm-up heavy (``startup`` dominates ``steady``):
+the regime both caches target.  Numbers land in
 ``benchmarks/output/campaign.json`` for EXPERIMENTS.md.
 
 Run with ``pytest benchmarks/bench_campaign.py -q -s``.
@@ -37,37 +41,40 @@ BENCH_SCALE = Scale("bench", {"memcached": (400, 80), "apache": (40, 8)})
 WORKLOADS = ("memcached", "apache")
 ABTB_SIZES = (16, 64, 256)
 JOBS = 4
-#: Acceptance bound from the issue: warm-cache sharded campaign vs cold
-#: serial campaign.
+#: Acceptance bound from the issue: cold-cache sharded pipeline campaign
+#: vs plain serial reference campaign (warm must clear it a fortiori).
 MIN_SPEEDUP = 1.5
 
 
-def _campaign(jobs: int, cache_dir: str | None) -> tuple[float, dict]:
+def _campaign(jobs: int, backend: str, cache_root: str | None) -> tuple[float, dict]:
+    kwargs = {}
+    if cache_root is not None:
+        root = pathlib.Path(cache_root)
+        kwargs = {
+            "machine_cache_dir": root / "machines",
+            "trace_cache_dir": root / "traces",
+        }
     start = time.perf_counter()
     result = run_campaign(
         WORKLOADS,
         BENCH_SCALE,
         abtb_sizes=ABTB_SIZES,
         jobs=jobs,
-        machine_cache_dir=cache_dir,
+        backend=backend,
+        **kwargs,
     )
     elapsed = time.perf_counter() - start
     assert result.ok and len(result.completed) == len(WORKLOADS) * len(ABTB_SIZES)
     return elapsed, result.completed
 
 
-def test_sharded_campaign_speedup_with_warm_cache():
-    """serial-cold vs jobs=4 cold-cache vs jobs=4 warm-cache.
-
-    The cold-cache arm pays the one-time fill (simulate + validated
-    checkpoint write); the warm-cache arm restores every warm-up prefix
-    and must clear the 1.5x acceptance bound against serial-cold.
-    """
-    serial_s, serial_summary = _campaign(jobs=1, cache_dir=None)
+def test_sharded_campaign_speedup():
+    """serial reference vs jobs=4 pipeline, cold cache and warm cache."""
+    serial_s, serial_summary = _campaign(jobs=1, backend="reference", cache_root=None)
 
     with tempfile.TemporaryDirectory() as cache:
-        cold_s, cold_summary = _campaign(jobs=JOBS, cache_dir=cache)
-        warm_s, warm_summary = _campaign(jobs=JOBS, cache_dir=cache)
+        cold_s, cold_summary = _campaign(jobs=JOBS, backend="batched", cache_root=cache)
+        warm_s, warm_summary = _campaign(jobs=JOBS, backend="batched", cache_root=cache)
 
     # Identical numbers across all three arms — speed never buys drift.
     assert serial_summary == cold_summary == warm_summary
@@ -78,22 +85,29 @@ def test_sharded_campaign_speedup_with_warm_cache():
         "scale": {name: list(req) for name, req in BENCH_SCALE.requests.items()},
         "abtb_sizes": list(ABTB_SIZES),
         "jobs": JOBS,
-        "serial_cold_s": round(serial_s, 3),
+        "sharded_backend": "batched",
+        "caches": ["machine checkpoints", "trace store"],
+        "serial_reference_s": round(serial_s, 3),
         "sharded_cold_cache_s": round(cold_s, 3),
         "sharded_warm_cache_s": round(warm_s, 3),
         "speedup_cold_cache": round(speedup_cold, 3),
         "speedup_warm_cache": round(speedup_warm, 3),
-        "checkpoint_reuse_saving_s": round(serial_s - warm_s, 3),
+        "cache_reuse_saving_s": round(serial_s - warm_s, 3),
+        # Asserted verbatim below, on BOTH the cold and warm arms.
         "min_speedup_bound": MIN_SPEEDUP,
     }
     OUTPUT_DIR.mkdir(exist_ok=True)
     (OUTPUT_DIR / "campaign.json").write_text(json.dumps(record, indent=2) + "\n")
     print(
-        f"\nserial cold {serial_s:.1f}s | jobs={JOBS} cold-cache {cold_s:.1f}s "
+        f"\nserial reference {serial_s:.1f}s | jobs={JOBS} cold-cache {cold_s:.1f}s "
         f"(x{speedup_cold:.2f}) | jobs={JOBS} warm-cache {warm_s:.1f}s "
-        f"(x{speedup_warm:.2f}, bound x{MIN_SPEEDUP})"
+        f"(x{speedup_warm:.2f}) | bound x{MIN_SPEEDUP} on both"
+    )
+    assert speedup_cold >= MIN_SPEEDUP, (
+        f"cold-cache sharded pipeline campaign only x{speedup_cold:.2f} vs serial "
+        f"(bound x{MIN_SPEEDUP}); the trace/machine cache fill no longer pays"
     )
     assert speedup_warm >= MIN_SPEEDUP, (
         f"warm-cache sharded campaign only x{speedup_warm:.2f} vs serial "
-        f"(bound x{MIN_SPEEDUP}); checkpoint reuse regressed"
+        f"(bound x{MIN_SPEEDUP}); cache reuse regressed"
     )

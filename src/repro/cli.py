@@ -258,6 +258,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             obs=obs,
             jobs=args.jobs,
             machine_cache_dir=args.machine_cache,
+            trace_cache_dir=args.trace_cache,
             backend=args.backend,
             recorder=recorder,
             supervise=args.supervise,
@@ -361,6 +362,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         poll_interval_s=args.poll_interval,
         max_idle_s=args.max_idle,
         machine_cache_dir=args.machine_cache,
+        trace_cache_dir=args.trace_cache,
         chaos=chaos,
         stop_event=stop,
     )
@@ -698,6 +700,14 @@ def build_parser() -> argparse.ArgumentParser:
         "base machine of an ABTB sweep) restore warm-up instead of re-simulating",
     )
     campaign.add_argument(
+        "--trace-cache",
+        default=None,
+        metavar="DIR",
+        help="content-addressed trace store; with --backend batched each workload's "
+        "trace is generated and serialised once, then loaded as structured-array "
+        "batches by every pair, shard and repeat run",
+    )
+    campaign.add_argument(
         "--backend", choices=("reference", "batched"), default="reference",
         help="simulation engine for every pair, serial or sharded",
     )
@@ -831,6 +841,11 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument(
         "--machine-cache", default=None, metavar="DIR",
         help="warm-machine checkpoint cache (shared with serial campaigns)",
+    )
+    worker.add_argument(
+        "--trace-cache", default=None, metavar="DIR",
+        help="content-addressed trace store (shared with serial campaigns; "
+        "effective with --backend batched)",
     )
     worker.add_argument(
         "--chaos-kill-after", type=int, default=0, metavar="N",

@@ -151,7 +151,7 @@ class _DivergenceFound(Exception):
 
 
 def _run_and_compare(
-    events: list, make_cpu, batch_events: int
+    events: list, make_cpu, batch_events: int, fast_batches: list | None = None
 ) -> tuple[int, tuple[int, int, list] | None]:
     """One ref-vs-fast pass; returns (sync_points, found).
 
@@ -159,10 +159,22 @@ def _run_and_compare(
     compared at every sync point and once more at end of stream (the final
     partial batch syncs there too, so this is belt-and-braces for empty
     streams).
+
+    When ``fast_batches`` is given the fast machine consumes those
+    :class:`~repro.trace.batch.TraceBatch` objects zero-copy
+    (:meth:`BatchedBackend.run_batches`) while the reference still walks
+    ``events`` — so one pass proves generation *and* retirement
+    equivalence.  A stream-length mismatch between the two is itself
+    reported as a divergence (at position 0) rather than silently
+    truncating the comparison.
     """
     reference = _ReferenceRunner(make_cpu(), events)
     fast_cpu = make_cpu()
     backend = BatchedBackend(fast_cpu, batch_events)
+    if fast_batches is not None:
+        total = sum(len(b) for b in fast_batches)
+        if total != len(events):
+            return 0, (0, min(total, len(events)), [("stream.len", len(events), total)])
     state = {"syncs": 0, "good": 0, "found": None}
 
     def sync_hook(position: int) -> None:
@@ -175,7 +187,10 @@ def _run_and_compare(
         state["good"] = position
 
     try:
-        backend.run(iter(events), sync_hook=sync_hook)
+        if fast_batches is not None:
+            backend.run_batches(fast_batches, sync_hook=sync_hook)
+        else:
+            backend.run(iter(events), sync_hook=sync_hook)
     except _DivergenceFound:
         return state["syncs"], state["found"]
     reference.run_until(len(events))
@@ -190,17 +205,22 @@ def diff_backends(
     make_cpu,
     batch_events: int = 4096,
     label: str = "difftest",
+    fast_batches: list | None = None,
 ) -> DiffReport:
     """Differentially run ``events`` through both backends.
 
     ``make_cpu`` is a zero-argument factory producing identically
     configured CPUs; it is called twice (reference and fast) and again
     for the shrinking re-run, so it must not share mutable state between
-    calls.  The stream is materialised once and both machines consume the
-    same list — any divergence is the backend's, never the generator's.
+    calls.  Without ``fast_batches`` the stream is materialised once and
+    both machines consume the same list — any divergence is the
+    backend's, never the generator's.  With ``fast_batches`` the fast
+    machine instead retires those batches zero-copy, so the comparison
+    additionally covers the array-native generation path that produced
+    them.
     """
     events = list(events)
-    sync_points, found = _run_and_compare(events, make_cpu, batch_events)
+    sync_points, found = _run_and_compare(events, make_cpu, batch_events, fast_batches)
     if found is None:
         return DiffReport(label, len(events), sync_points, batch_events)
 
@@ -210,7 +230,7 @@ def diff_backends(
     # bad position brackets a minimal window.
     shrunk = True
     if batch_events > 1:
-        _, refound = _run_and_compare(events, make_cpu, 1)
+        _, refound = _run_and_compare(events, make_cpu, 1, fast_batches)
         if refound is not None:
             last_good, first_bad, diffs = refound
         else:
@@ -243,6 +263,26 @@ def workload_events(
     return events
 
 
+def workload_batches(
+    workload: str,
+    requests: int = 12,
+    seed: int | None = None,
+    include_startup: bool = True,
+) -> list:
+    """The same seeded workload slice as :func:`workload_events`, generated
+    through the array-native path (:meth:`Workload.startup_batch` /
+    :meth:`Workload.trace_batch`) on a fresh workload instance."""
+    try:
+        module = ALL_WORKLOADS[workload]
+    except KeyError:
+        raise ConfigError(f"unknown workload {workload!r}") from None
+    cfg = module.config() if seed is None else module.config(seed=seed)
+    wl = Workload(cfg, LinkMode.DYNAMIC)
+    batches = [wl.startup_batch()] if include_startup else []
+    batches.append(wl.trace_batch(requests))
+    return batches
+
+
 def difftest_workload(
     workload: str,
     abtb_entries: int | None = None,
@@ -250,13 +290,29 @@ def difftest_workload(
     seed: int | None = None,
     batch_events: int = 4096,
     cpu_config: CPUConfig | None = None,
+    generation: str = "array",
 ) -> DiffReport:
     """Differential run of one workload profile.
 
     ``abtb_entries=None`` builds base machines (no mechanism); an integer
     builds enhanced machines with that ABTB size.
+
+    ``generation`` picks what the *fast* machine consumes: ``"array"``
+    (the default) feeds it batches from the vectorized generation path —
+    legacy-iterator generation + reference retirement vs array-native
+    generation + batched retirement, the full-pipeline equivalence the
+    numpy-native pipeline must uphold; ``"legacy"`` feeds both machines
+    the identical materialised event list, isolating backend behaviour
+    (PR 4's original comparison).
     """
+    if generation not in ("array", "legacy"):
+        raise ConfigError(f"unknown generation {generation!r}; expected 'array' or 'legacy'")
     events = workload_events(workload, requests=requests, seed=seed)
+    fast_batches = (
+        workload_batches(workload, requests=requests, seed=seed)
+        if generation == "array"
+        else None
+    )
 
     def make_cpu() -> CPU:
         mechanism = None
@@ -265,7 +321,9 @@ def difftest_workload(
         return CPU(cpu_config, mechanism)
 
     label = f"{workload}/{'base' if abtb_entries is None else f'abtb={abtb_entries}'}"
-    return diff_backends(events, make_cpu, batch_events=batch_events, label=label)
+    return diff_backends(
+        events, make_cpu, batch_events=batch_events, label=label, fast_batches=fast_batches
+    )
 
 
 def run_matrix(
@@ -274,11 +332,15 @@ def run_matrix(
     requests: int = 12,
     seed: int | None = None,
     batch_events: int = 4096,
+    generation: str = "array",
 ) -> list[DiffReport]:
     """The full correctness matrix: every profile × {base, each ABTB size}.
 
     This is the gate EXPERIMENTS.md refers to: published numbers may only
-    come from a backend that is difftest-clean on this matrix.
+    come from a backend that is difftest-clean on this matrix.  By default
+    each cell compares legacy-iterator generation retired by the reference
+    interpreter against array-native generation retired by the batched
+    backend, with full-snapshot equality at every sync point.
     """
     reports = []
     for name in workloads if workloads is not None else sorted(ALL_WORKLOADS):
@@ -290,6 +352,7 @@ def run_matrix(
                     requests=requests,
                     seed=seed,
                     batch_events=batch_events,
+                    generation=generation,
                 )
             )
     return reports

@@ -29,7 +29,8 @@ from repro.resilience.integrity import read_artifact, write_artifact
 from repro.resilience.supervisor import CampaignSupervisor, FaultPlan, SupervisorPolicy
 from repro.resilience.watchdog import DivergenceWatchdog, WatchdogPolicy
 from repro.trace.engine import LinkMode, TraceCursor
-from repro.uarch.backend import make_runner
+from repro.trace.store import TraceStore, apply_stats, generate_bundle, trace_key
+from repro.uarch.backend import BatchedBackend, make_runner
 from repro.uarch.counters import PerfCounters
 from repro.uarch.cpu import CPU, CPUConfig
 from repro.uarch.machine import (
@@ -183,6 +184,7 @@ def run_workload(
     obs=None,
     obs_label: str | None = None,
     machine_cache: CheckpointStore | None = None,
+    trace_cache: TraceStore | None = None,
     backend: str = "reference",
     recorder: IncidentRecorder | None = None,
     watchdog: WatchdogPolicy | None = None,
@@ -207,6 +209,19 @@ def run_workload(
     counter-for-counter identical to an uncached run.  The cache is
     bypassed when ``obs`` is active, because skipping warm-up simulation
     would silently drop its trace spans and counter samples.
+
+    ``trace_cache`` (a :class:`~repro.trace.store.TraceStore`) engages
+    the array-native interchange path: the workload's startup, warm-up
+    and measured windows are generated once as structured-array
+    :class:`~repro.trace.batch.TraceBatch` segments, serialised through
+    the binary codec, and on every later run with the identical recipe
+    *loaded* and retired zero-copy by the batched backend — no
+    generation at all.  Combined with a ``machine_cache`` hit, the run
+    reduces to restoring the warm machine and retiring the measured
+    batch.  The path only engages for ``backend="batched"`` with no
+    ``obs`` session and no armed watchdog (those paths need the live
+    event iterator); otherwise ``trace_cache`` is ignored.  Equivalence
+    with the iterator path is enforced by :mod:`repro.difftest`.
 
     ``backend`` selects the simulation engine (see
     :data:`repro.uarch.backend.BACKENDS`): ``"reference"`` is the
@@ -263,6 +278,75 @@ def run_workload(
             warmup_requests,
         )
         state = machine_cache.load(cache_key)
+
+    use_trace = (
+        trace_cache is not None
+        and obs is None
+        and dog is None
+        and backend == "batched"
+    )
+    if use_trace:
+        # Array-native interchange path: the whole trace exists as three
+        # structured-array segments — loaded from the store on a hit,
+        # generated once through the batch-emitting twins on a miss —
+        # and the batched backend retires them zero-copy.  Generation
+        # usage statistics travel in the store's sidecar, so a hit never
+        # touches the (stateful) iterator generators at all.
+        bundle_key = trace_key(config, mode, warmup_requests, measured_requests)
+        bundle = trace_cache.load(bundle_key)
+        if bundle is None:
+            bundle = generate_bundle(workload, warmup_requests, measured_requests)
+            trace_cache.save(bundle_key, bundle)
+        else:
+            apply_stats(bundle.stats, workload)
+        batched = BatchedBackend(cpu)
+
+        def drive(batch) -> None:
+            if progress is None:
+                batched.run_batches((batch,))
+                return
+            for piece in batch.slices(PROGRESS_EVERY):
+                batched.run_batches((piece,))
+                progress(len(piece.data))
+
+        if state is not None:
+            state.restore_into(cpu)
+        else:
+            drive(bundle.startup)
+            drive(bundle.warmup)
+        cpu.finalize()
+        if state is None and use_cache and cache_key is not None:
+            machine_cache.save(
+                cache_key,
+                MachineState.capture(
+                    cpu,
+                    meta={
+                        "workload": config.name,
+                        "mode": mode.value,
+                        "label": label,
+                        "warmup_requests": warmup_requests,
+                    },
+                ),
+            )
+        snapshot = cpu.counters.copy()
+        marks_before = len(cpu.marks)
+        drive(bundle.measured)
+        cpu.finalize()
+        window = cpu.counters.delta(snapshot)
+        requests, unmatched, dropped = _pair_marks(
+            cpu, marks_before, strict=strict_marks
+        )
+        return RunResult(
+            label,
+            window,
+            requests,
+            workload,
+            cpu,
+            mechanism,
+            unmatched_marks=unmatched,
+            dropped_samples=dropped,
+            backend_used="batched",
+        )
 
     if state is not None:
         # Warm machine found: advance the (stateful) trace generator by
@@ -359,6 +443,7 @@ def run_pair(
     seed: int | None = None,
     obs=None,
     machine_cache: CheckpointStore | None = None,
+    trace_cache: TraceStore | None = None,
     backend: str = "reference",
     recorder: IncidentRecorder | None = None,
     watchdog: WatchdogPolicy | None = None,
@@ -373,6 +458,12 @@ def run_pair(
     everything.  ``backend`` is passed through to :func:`run_workload`;
     warm-machine checkpoints are shareable across backends because the
     backends are counter-for-counter equivalent.
+
+    ``trace_cache`` shares *generated traces* the same way: the trace
+    key covers only the workload recipe and window lengths — not the
+    mechanism or ABTB size — so base and enhanced (and every ABTB sweep
+    point) consume one stored byte-identical bundle.  Even a cold
+    campaign generates each workload's trace exactly once.
     """
     try:
         module = ALL_WORKLOADS[workload_name]
@@ -398,7 +489,8 @@ def run_pair(
             run_workload(
                 cfg, mech, warmup, measured, cpu_config,
                 label=label, obs=obs, obs_label=obs_label,
-                machine_cache=machine_cache, backend=backend,
+                machine_cache=machine_cache, trace_cache=trace_cache,
+                backend=backend,
                 recorder=recorder, watchdog=watchdog, progress=progress,
             )
         )
@@ -745,6 +837,11 @@ def _campaign_worker(task: dict) -> dict:
         if task["machine_cache_dir"] is not None
         else None
     )
+    traces = (
+        TraceStore(task["trace_cache_dir"], recorder=recorder)
+        if task.get("trace_cache_dir") is not None
+        else None
+    )
     watchdog = task.get("watchdog")
     if task.get("force_diverge"):
         base = watchdog if watchdog is not None else WatchdogPolicy()
@@ -756,6 +853,7 @@ def _campaign_worker(task: dict) -> dict:
     def run_fn(w, s, n):
         return run_pair(
             w, s, abtb_entries=n, obs=obs, machine_cache=cache,
+            trace_cache=traces,
             backend=task.get("backend", "reference"),
             recorder=recorder, watchdog=watchdog,
         )
@@ -785,6 +883,7 @@ def run_campaign(
     obs=None,
     jobs: int = 1,
     machine_cache_dir: str | Path | None = None,
+    trace_cache_dir: str | Path | None = None,
     backend: str = "reference",
     recorder: IncidentRecorder | None = None,
     supervise: bool = False,
@@ -817,8 +916,12 @@ def run_campaign(
 
     ``machine_cache_dir`` holds warm-machine checkpoints shared by all
     workers (see :func:`run_workload`); atomic writes make the racy
-    first-fill benign.  ``backend`` selects the simulation engine for
-    every pair, serial or sharded (custom ``run_fn`` callables ignore it).
+    first-fill benign.  ``trace_cache_dir`` holds the content-addressed
+    trace store: with ``backend="batched"`` every shard serialises each
+    workload's trace once and thereafter loads the stored batches
+    instead of regenerating them (see :func:`run_workload`).  ``backend``
+    selects the simulation engine for every pair, serial or sharded
+    (custom ``run_fn`` callables ignore it).
 
     With an ``obs`` session, each pair attempt runs under a host-clock
     trace span and the sweep's progress lands in counters
@@ -855,6 +958,11 @@ def run_campaign(
         if machine_cache_dir is not None
         else None
     )
+    trace_cache = (
+        TraceStore(trace_cache_dir, recorder=recorder)
+        if trace_cache_dir is not None
+        else None
+    )
     default_callables = run_fn is None and sleep_fn is time.sleep
     if supervise and not default_callables:
         raise ConfigError(
@@ -865,6 +973,7 @@ def run_campaign(
     if run_fn is None:
         run_fn = lambda w, s, n: run_pair(  # noqa: E731
             w, s, abtb_entries=n, obs=obs, machine_cache=machine_cache,
+            trace_cache=trace_cache,
             backend=backend, recorder=recorder, watchdog=watchdog,
         )
     path = Path(checkpoint_path) if checkpoint_path is not None else None
@@ -892,6 +1001,25 @@ def run_campaign(
                 result.resumed += 1
             else:
                 tasks.append((key, workload, abtb))
+
+    if (
+        trace_cache is not None
+        and backend == "batched"
+        and obs is None
+        and watchdog is None
+        and tasks
+        and (parallel or supervise)
+    ):
+        # Seed the cross-shard artifacts before fanning out — otherwise
+        # every concurrently-started cold shard of the same workload
+        # regenerates the identical trace bundle and re-simulates the
+        # identical base-machine warm-up (the racy first-fill is benign
+        # but wasteful, and on few-core machines the waste is pure
+        # wall-clock).
+        _prefill_caches(
+            dict.fromkeys(w for _k, w, _a in tasks),
+            scale, machine_cache, trace_cache,
+        )
 
     def absorb(outcome: dict) -> None:
         """Fold one pair outcome into the result + obs, serially."""
@@ -967,6 +1095,9 @@ def run_campaign(
             "obs_spec": _obs_spec(obs),
             "machine_cache_dir": (
                 str(machine_cache_dir) if machine_cache_dir is not None else None
+            ),
+            "trace_cache_dir": (
+                str(trace_cache_dir) if trace_cache_dir is not None else None
             ),
             "backend": backend,
             "watchdog": watchdog,
@@ -1078,6 +1209,67 @@ def run_campaign(
                 checkpoint=str(path) if path is not None else None,
             )
         raise
+
+
+def _prefill_caches(
+    workload_names,
+    scale,
+    machine_cache: CheckpointStore | None,
+    trace_cache: TraceStore,
+) -> None:
+    """Serially warm the cross-shard artifacts before fanning out.
+
+    Two artifacts are shared by *every* shard of one workload: the trace
+    bundle (the key excludes mechanism and ABTB size) and the warm base
+    machine (its checkpoint key has no mechanism either).  Each is
+    generated/simulated once here, in the parent, so every shard's
+    shared work becomes a pure cache hit.  Enhanced machines are
+    per-(workload, ABTB) — exactly one shard each — and are left to the
+    shards.  Mirrors the default :func:`run_pair` recipe (module default
+    config, DYNAMIC mode, default CPU geometry, scale-derived windows)
+    so the keys match what :func:`run_workload` computes.
+
+    Anything that cannot be prefilled — an unknown workload, a
+    degenerate scale — is skipped: the corresponding pair surfaces the
+    real error (or fills the caches itself) through the normal retry
+    machinery.
+    """
+    for name in workload_names:
+        module = ALL_WORKLOADS.get(name)
+        if module is None:
+            continue
+        warmup = scale.warmup(name)
+        measured = scale.measured(name)
+        if warmup < 0 or measured < 1:
+            continue
+        config = module.config()
+        key = trace_key(config, LinkMode.DYNAMIC, warmup, measured)
+        bundle = trace_cache.load(key) if trace_cache.has(key) else None
+        if bundle is None:
+            bundle = generate_bundle(
+                Workload(config, LinkMode.DYNAMIC), warmup, measured
+            )
+            trace_cache.save(key, bundle)
+        if machine_cache is None:
+            continue
+        cpu = CPU()
+        base_key = warmup_machine_key(config, LinkMode.DYNAMIC, cpu.config, None, warmup)
+        if machine_cache.load(base_key) is not None:
+            continue
+        BatchedBackend(cpu).run_batches((bundle.startup, bundle.warmup))
+        cpu.finalize()
+        machine_cache.save(
+            base_key,
+            MachineState.capture(
+                cpu,
+                meta={
+                    "workload": config.name,
+                    "mode": LinkMode.DYNAMIC.value,
+                    "label": "base",
+                    "warmup_requests": warmup,
+                },
+            ),
+        )
 
 
 def _write_manifest(

@@ -107,6 +107,12 @@ class LinkedProgram:
         self.resolution_log: list[tuple[str, str]] = []
         #: Optional observability tracer (see :meth:`attach_tracer`).
         self.tracer = None
+        #: Monotonic counter bumped by every operation that can change an
+        #: *already resolved* binding (GOT rewrite, ifunc reselection,
+        #: dlclose) or the module map (dlopen).  The batch-emitting engine
+        #: path caches per-binding warm-call templates keyed on this epoch
+        #: and drops them all whenever it moves.
+        self.binding_epoch = 0
 
     def attach_tracer(self, tracer) -> None:
         """Emit linker activity (resolver runs, GOT writes, dlclose) as
@@ -233,6 +239,7 @@ class LinkedProgram:
         if not slot.resolved:
             raise LinkError(f"GOT slot {caller!r}:{symbol!r} is not resolved")
         slot.value = new_value
+        self.binding_epoch += 1
         got_addr = self.modules[caller].got_slot(symbol)
         if self.tracer is not None:
             self.tracer.instant(
@@ -253,6 +260,7 @@ class LinkedProgram:
         hardware must observe.
         """
         self.hwcap_level = hwcap_level
+        self.binding_epoch += 1
         rewrites: list[tuple[str, str, int, int]] = []
         for (caller, symbol), slot in self._got.items():
             if not slot.resolved:
@@ -284,6 +292,7 @@ class LinkedProgram:
         """
         if name not in self.modules:
             raise LinkError(f"module {name!r} is not loaded")
+        self.binding_epoch += 1
         victim = self.modules[name]
         lo, hi = victim.text_range
         reset: list[tuple[str, str, int]] = []
@@ -413,6 +422,7 @@ class DynamicLinker:
                 raise LinkError(f"dlopen {spec.name!r}: undefined import {sym!r}")
         program.modules[spec.name] = image
         program.load_order.append(spec.name)
+        program.binding_epoch += 1
         for sym in spec.imports:
             program._got[(spec.name, sym)] = _GotSlot()
         if address_space is not None:

@@ -39,6 +39,7 @@ from repro.experiments.runner import RetryPolicy, _run_one_pair, run_pair
 from repro.experiments.scale import PAPER, SMOKE
 from repro.resilience.incidents import IncidentRecorder
 from repro.resilience.watchdog import WatchdogPolicy
+from repro.trace.store import TraceStore
 from repro.uarch.machine import CheckpointStore
 
 _SCALES = {"smoke": SMOKE, "paper": PAPER}
@@ -182,6 +183,9 @@ class WorkerAgent:
             anywhere (None: run until stopped — the service default).
         machine_cache_dir: warm-machine checkpoint cache shared with the
             serial runner (optional but a large speedup across shards).
+        trace_cache_dir: content-addressed trace store shared with the
+            campaign runner; with ``backend="batched"`` shards load
+            serialised trace batches instead of regenerating them.
         chaos: fault injector (drills/CI only).
         stop_event: external stop signal; the agent finishes the shard in
             hand, delivers it, then exits (graceful drain).
@@ -194,6 +198,7 @@ class WorkerAgent:
         poll_interval_s: float = 0.25,
         max_idle_s: float | None = None,
         machine_cache_dir: str | None = None,
+        trace_cache_dir: str | None = None,
         chaos: WorkerChaos | None = None,
         stop_event: threading.Event | None = None,
     ) -> None:
@@ -202,6 +207,7 @@ class WorkerAgent:
         self.poll_interval_s = poll_interval_s
         self.max_idle_s = max_idle_s
         self.machine_cache_dir = machine_cache_dir
+        self.trace_cache_dir = trace_cache_dir
         self.chaos = chaos
         self.stop_event = stop_event if stop_event is not None else threading.Event()
         self.worker_id = ""
@@ -341,6 +347,11 @@ class WorkerAgent:
             if self.machine_cache_dir
             else None
         )
+        trace_cache = (
+            TraceStore(self.trace_cache_dir, recorder=recorder)
+            if self.trace_cache_dir
+            else None
+        )
 
         def run_fn(workload: str, scale_obj, abtb: int):
             return run_pair(
@@ -352,6 +363,7 @@ class WorkerAgent:
                 recorder=recorder,
                 watchdog=watchdog,
                 machine_cache=machine_cache,
+                trace_cache=trace_cache,
                 progress=self.progress.add,
             )
 

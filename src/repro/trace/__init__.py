@@ -1,6 +1,8 @@
 """Execution engine and trace utilities."""
 
 from repro.trace.batch import EVENT_DTYPE, TraceBatch, iter_batches
+from repro.trace.builder import BatchBuilder
+from repro.trace.store import TraceBundle, TraceStore, generate_bundle, trace_key
 from repro.trace.engine import (
     CALL_SITE_LEN,
     CallStyle,
@@ -13,14 +15,19 @@ from repro.trace.engine import (
 )
 
 __all__ = [
+    "BatchBuilder",
     "CALL_SITE_LEN",
     "CallStyle",
     "EVENT_DTYPE",
     "ExecutionEngine",
     "LinkMode",
     "TraceBatch",
+    "TraceBundle",
     "TraceCursor",
+    "TraceStore",
+    "generate_bundle",
     "iter_batches",
+    "trace_key",
     "PATCH_OVERHEAD_INSTRUCTIONS",
     "RESOLVER_TEXT_BASE",
     "SYMTAB_DATA_BASE",

@@ -164,6 +164,19 @@ class TraceBatch:
         """Array storage footprint (excludes the Python tag table)."""
         return int(self.data.nbytes)
 
+    def slices(self, batch_events: int) -> Iterator["TraceBatch"]:
+        """Re-cut into batches of at most ``batch_events`` events.
+
+        Yields zero-copy views: each slice shares this batch's array
+        storage and tag table (tag indexes stay valid because the table
+        is per-batch, not per-slice).  Empty batches are never yielded.
+        """
+        if batch_events < 1:
+            raise TraceError(f"batch_events must be positive, got {batch_events}")
+        n = len(self.data)
+        for start in range(0, n, batch_events):
+            yield TraceBatch(self.data[start : start + batch_events], self.tags)
+
     # ------------------------------------------------------- binary codec
 
     def to_bytes(self) -> bytes:

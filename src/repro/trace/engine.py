@@ -37,6 +37,13 @@ from repro.isa.events import (
 from repro.linker.dynamic import CallBinding, LinkedProgram
 from repro.linker.patcher import CallSitePatcher
 from repro.linker.static import StaticProgram
+from repro.trace.builder import (
+    BatchBuilder,
+    K_BLOCK,
+    K_CALL_DIRECT,
+    K_CALL_INDIRECT,
+    K_JMP_INDIRECT,
+)
 
 #: Where ld.so's resolver code lives (one page of hot resolver text).
 RESOLVER_TEXT_BASE = 0x7FFF_F7DD_0000
@@ -160,6 +167,11 @@ class ExecutionEngine:
         #: Optional observability tracer; when set, resolver detours and
         #: dlclose emissions land as instant events.
         self.tracer = None
+        # Warm-call templates for the batch-emitting path, keyed
+        # (caller, symbol); dropped whenever the program's binding_epoch
+        # moves (GOT rewrite / ifunc reselect / dlclose / dlopen).
+        self._templates: dict[tuple[str, str], tuple] = {}
+        self._template_epoch = -1
 
     # ------------------------------------------------------------ plt call
 
@@ -199,6 +211,73 @@ class ExecutionEngine:
         """The callee's return back to just after the call site."""
         ret_pc = binding.func_addr + max(binding.func_size - 1, 1)
         return [ret(ret_pc, site_pc + CALL_SITE_LEN)]
+
+    # ------------------------------------------------------- batch emission
+
+    def call_rows(
+        self, caller: str, symbol: str, site_pc: int, builder: BatchBuilder
+    ) -> tuple[int, int, bool]:
+        """Batch twin of :meth:`call_events`: appends the call's rows to
+        ``builder`` and returns ``(func_addr, func_size, via_plt)``.
+
+        Emits event-for-event what :meth:`call_events` would — the first
+        call per (caller, symbol) still takes the full ``bind_call`` +
+        resolver path through :meth:`call_events` — but warm calls replay
+        a precomputed per-binding template (one dict hit, two list
+        appends) without re-binding or building ``TraceEvent`` objects.
+        Templates are invalidated wholesale whenever the program's
+        ``binding_epoch`` moves, so GOT rewrites, ifunc reselection,
+        dlclose and dlopen all force re-binding through the slow path.
+        """
+        epoch = getattr(self.program, "binding_epoch", 0)
+        if epoch != self._template_epoch:
+            self._templates.clear()
+            self._template_epoch = epoch
+        tmpl = self._templates.get((caller, symbol))
+        if tmpl is not None:
+            kind, nbytes, target, mem_addr, suffix, tagged, info = tmpl
+            self.calls_emitted += 1
+            builder.rows += (kind, site_pc, 1, nbytes, target, mem_addr, 1, -1)
+            if suffix:
+                builder.rows += suffix
+                if tagged:
+                    # The trampoline row's tag index is per-builder, so it
+                    # cannot be baked into the template.
+                    builder.rows.append(builder.tag_id("plt"))
+            return info
+        events, binding = self.call_events(caller, symbol, site_pc)
+        builder.extend_events(events)
+        info = (binding.func_addr, binding.func_size, binding.via_plt)
+        if self.mode is LinkMode.STATIC:
+            self._templates[(caller, symbol)] = (
+                K_CALL_DIRECT, 5, binding.func_addr, 0, (), False, info,
+            )
+        elif self.mode is LinkMode.DYNAMIC:
+            if self.call_style is CallStyle.PE_DLLIMPORT:
+                self._templates[(caller, symbol)] = (
+                    K_CALL_INDIRECT, 6, binding.func_addr, binding.got_addr, (), False, info,
+                )
+            else:
+                # Warm ELF PLT call: stub prefix (ARM) + tagged jmp *GOT.
+                # The final row is stored without its tag element (see
+                # above); PATCHED sites are never templated — patching is
+                # per *site*, not per binding.
+                params = self.arch_params
+                branch_pc = binding.plt_addr + params.stub_prefix_bytes
+                suffix: tuple = ()
+                if params.stub_prefix_instrs:
+                    suffix = (
+                        K_BLOCK, binding.plt_addr, params.stub_prefix_instrs,
+                        params.stub_prefix_bytes, 0, 0, 1, -1,
+                    )
+                suffix = suffix + (
+                    K_JMP_INDIRECT, branch_pc, 1, params.branch_bytes,
+                    binding.func_addr, binding.got_addr, 1,
+                )
+                self._templates[(caller, symbol)] = (
+                    K_CALL_DIRECT, 5, binding.plt_addr, 0, suffix, True, info,
+                )
+        return info
 
     # ---------------------------------------------------------- internals
 

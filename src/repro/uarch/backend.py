@@ -220,6 +220,38 @@ class BatchedBackend:
         (``counters.cycles`` included) equals a reference run over the
         first ``position`` stream events.
         """
+        self._batches = iter_batches(events, self.batch_events)
+        return self._drive(sync_hook)
+
+    def run_batches(self, batches, sync_hook=None):
+        """Like :meth:`run`, but consumes :class:`TraceBatch` objects
+        directly — the array-native hot path.
+
+        No ``to_events`` / ``from_events`` round trip happens: oversized
+        batches are re-cut into zero-copy views
+        (:meth:`TraceBatch.slices`) of at most ``batch_events`` rows, so
+        sync-point spacing (and therefore difftest comparability and
+        watchdog cadence) is identical to a :meth:`run` over the same
+        stream.
+        """
+
+        def resliced():
+            cap = self.batch_events
+            for batch in batches:
+                m = len(batch)
+                if not m:
+                    continue
+                if m <= cap:
+                    yield batch
+                else:
+                    yield from batch.slices(cap)
+
+        self._batches = resliced()
+        return self._drive(sync_hook)
+
+    def _drive(self, sync_hook):
+        """Retire ``self._batches`` against the CPU (shared by
+        :meth:`run` and :meth:`run_batches`)."""
         cpu = self.cpu
         fast = [False] * (MAX_EVENT_KIND + 1)
         fast[_K_BLOCK] = True
@@ -244,7 +276,6 @@ class BatchedBackend:
             cpu.l2.line_shift,
             cpu.dtlb.page_shift,
         )
-        self._batches = iter_batches(events, self.batch_events)
         self._cur = None
         self._i = 0
         self._base = 0

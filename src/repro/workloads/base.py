@@ -38,7 +38,19 @@ from repro.linker.static import StaticLinker, StaticProgram
 from repro.linker.symbols import FunctionSpec, SymbolKind
 from repro.memory.address_space import AddressSpace
 from repro.memory.pages import PhysicalMemory
-from repro.trace.engine import ExecutionEngine, LinkMode
+from repro.trace.batch import TraceBatch
+from repro.trace.builder import (
+    BatchBuilder,
+    K_BLOCK,
+    K_CALL_INDIRECT,
+    K_COND_BRANCH,
+    K_CONTEXT_SWITCH,
+    K_LOAD,
+    K_MARK,
+    K_RET,
+    K_STORE,
+)
+from repro.trace.engine import CALL_SITE_LEN, ExecutionEngine, LinkMode
 from repro.workloads.profiles import PopularityProfile, WeightedSampler
 
 
@@ -230,6 +242,19 @@ class Workload:
             for p in pairs
             for sym in [p.symbol]
         }
+        # Pure caches for the batch-emitting generation path (identical
+        # values to what the legacy iterator computes per event).
+        self._app_fn_entries = [
+            self._app_image.functions[f"app_fn{i}"].entry
+            for i in range(config.app_functions)
+        ]
+        self._hot_bytes = max(config.data_working_set // 32, 4096)
+        self._lib_load_addr = {
+            sym: (self._lib_data_base.get(mod, self._heap) + (stable_hash(sym) * 64) % (256 * 1024))
+            & ~0x7
+            for sym, mod in self._defining_module.items()
+        }
+        self._vcall_cache: dict[int, tuple[int, int]] = {}
         #: (caller, symbol) pairs whose trampolines were executed.
         self.touched_pairs: set[tuple[str, str]] = set()
         #: Per-pair trampoline execution counts (Figure 4's frequencies).
@@ -560,6 +585,198 @@ class Workload:
         rest = max(3, body - half)
         yield block(entry + half * 4 + 12, rest, rest * 4)
         yield from self.engine.return_events(binding, site_pc)
+
+    # ----------------------------------------------------- batch generation
+    #
+    # Array-native twins of the generators above.  Each method mirrors its
+    # legacy counterpart *draw for draw* — same RNG streams, same control
+    # flow, same per-event values — but appends flat integer rows to a
+    # :class:`~repro.trace.builder.BatchBuilder` instead of yielding
+    # ``TraceEvent`` objects, and warm library calls replay precomputed
+    # engine templates (:meth:`ExecutionEngine.call_rows`).  The legacy
+    # iterators stay as the reference oracle: ``difftest.run_matrix``
+    # proves full-CPU-snapshot equality between the two paths.
+
+    def startup_batch(self) -> TraceBatch:
+        """Batch twin of :meth:`startup_trace` (event-for-event identical)."""
+        builder = BatchBuilder()
+        rng = np.random.default_rng(np.random.SeedSequence([self.config.seed, 55]))
+        rc = self.config.request_classes[0]
+        depth = self.config.max_call_depth
+        for pairs in self._pairs_by_module.values():
+            for pair in pairs:
+                self._library_call_rows(rc, pair, pair.sites[0], rng, depth, None, builder)
+        return builder.build()
+
+    def trace_batch(
+        self,
+        n_requests: int,
+        include_marks: bool = True,
+        classes: list[RequestClass] | None = None,
+        start_id: int = 0,
+    ) -> TraceBatch:
+        """Batch twin of :meth:`trace` (event-for-event identical)."""
+        builder = BatchBuilder()
+        rows = builder.rows
+        rng = np.random.default_rng(np.random.SeedSequence([self.config.seed, 77, start_id]))
+        mix = classes if classes is not None else self.request_mix(n_requests, rng)
+        for offset, rc in enumerate(mix):
+            request_id = start_id + offset
+            req_rng = np.random.default_rng(
+                np.random.SeedSequence([self.config.seed, 101, request_id])
+            )
+            if include_marks:
+                rows += (K_MARK, 0, 0, 0, 0, 0, 1, builder.tag_id(("begin", rc.name, request_id)))
+            self._request_rows(rc, request_id, req_rng, builder)
+            if include_marks:
+                rows += (K_MARK, 0, 0, 0, 0, 0, 1, builder.tag_id(("end", rc.name, request_id)))
+        return builder.build()
+
+    def _request_rows(
+        self, rc: RequestClass, request_id: int, rng: np.random.Generator, builder: BatchBuilder
+    ) -> None:
+        cfg = self.config
+        rows = builder.rows
+        app_pairs = self._pairs_by_module.get("app", [])
+        app_sampler = self._samplers.get("app")
+        local_base = (
+            self._heap
+            + cfg.data_working_set
+            + (request_id % cfg.request_slots) * cfg.request_local_bytes
+        )
+        n_segments = max(1, int(rng.normal(rc.segments, rc.segments * 0.12)))
+        u_call = rng.random(n_segments).tolist()
+        phase_pairs: list[CallPair] = []
+        phase_fns: list[int] = []
+        last_nested: dict[str, CallPair] = {}
+        switch_interval = cfg.context_switch_interval
+        for seg in range(n_segments):
+            if seg % rc.phase_len == 0:
+                if app_pairs:
+                    k = max(1, min(rc.phase_set, len(app_pairs)))
+                    phase_pairs = [app_pairs[app_sampler.sample(rng)] for _ in range(k)]
+                phase_fns = [
+                    self._app_fn_sampler.sample(rng)
+                    for _ in range(max(1, rc.app_phase_fns))
+                ]
+            pair: CallPair | None = None
+            if phase_pairs and u_call[seg] < rc.call_prob:
+                pair = phase_pairs[int(rng.integers(0, len(phase_pairs)))]
+            self._app_segment_rows(rc, pair, local_base, rng, phase_fns, builder)
+            if pair is not None:
+                site = pair.sites[seg % len(pair.sites)]
+                self._library_call_rows(rc, pair, site, rng, 0, last_nested, builder)
+            if switch_interval:
+                self._instr_since_switch += rc.segment_instr
+                if self._instr_since_switch >= switch_interval:
+                    self._instr_since_switch = 0
+                    rows += (K_CONTEXT_SWITCH, 0, 0, 0, 0, 0, 1, -1)
+
+    def _app_segment_rows(
+        self,
+        rc: RequestClass,
+        pair: CallPair | None,
+        local_base: int,
+        rng: np.random.Generator,
+        phase_fns: list[int],
+        builder: BatchBuilder,
+    ) -> None:
+        cfg = self.config
+        rows = builder.rows
+        if phase_fns:
+            idx = phase_fns[int(rng.integers(0, len(phase_fns)))]
+        else:
+            idx = self._app_fn_sampler.sample(rng)
+        fn_entry = self._app_fn_entries[idx]
+        n = max(4, int(rng.normal(rc.segment_instr, rc.segment_instr * 0.2)))
+        first = max(2, n // 2)
+        rows += (K_BLOCK, fn_entry, first, first * 4, 0, 0, 1, -1)
+        hot_bytes = self._hot_bytes
+        load_pc = fn_entry + first * 4
+        for _ in range(rc.loads_per_segment):
+            u = rng.random()
+            if u < 0.45:
+                addr = self._heap + int(rng.integers(0, hot_bytes))
+            elif u < 0.85:
+                addr = local_base + int(rng.integers(0, cfg.request_local_bytes))
+            else:
+                addr = self._heap + int(rng.integers(0, cfg.data_working_set))
+            rows += (K_LOAD, load_pc, 1, 4, 0, addr & ~0x7, 1, -1)
+        rows += (
+            K_COND_BRANCH, load_pc + 4, 1, 6, fn_entry + 8, 0,
+            1 if rng.random() < 0.72 else 0, -1,
+        )
+        rest = max(2, n - first)
+        rows += (K_BLOCK, load_pc + 10, rest, rest * 4, 0, 0, 1, -1)
+        for _ in range(rc.stores_per_segment):
+            addr = local_base + int(rng.integers(0, cfg.request_local_bytes))
+            rows += (K_STORE, load_pc + 14, 1, 4, 0, addr & ~0x7, 1, -1)
+        if rc.virtual_call_prob and rng.random() < rc.virtual_call_prob:
+            vidx = self._app_fn_sampler.sample(rng)
+            cached = self._vcall_cache.get(vidx)
+            if cached is None:
+                vfn = self._app_image.functions[f"app_fn{vidx}"]
+                cached = (
+                    vfn.entry,
+                    self._heap + (stable_hash(f"vt{vidx}") % cfg.data_working_set) & ~0x7,
+                )
+                self._vcall_cache[vidx] = cached
+            ventry, vtable = cached
+            call_pc = load_pc + 20
+            vbody = max(4, rest // 2)
+            rows += (K_CALL_INDIRECT, call_pc, 1, 6, ventry, vtable, 1, -1)
+            rows += (K_BLOCK, ventry, vbody, vbody * 4, 0, 0, 1, -1)
+            rows += (K_RET, ventry + vbody * 4, 1, 1, call_pc + 6, 0, 1, -1)
+        if pair is not None:
+            rows += (K_BLOCK, pair.sites[0] & ~0xF, 4, 16, 0, 0, 1, -1)
+
+    def _library_call_rows(
+        self,
+        rc: RequestClass,
+        pair: CallPair,
+        site_pc: int,
+        rng: np.random.Generator,
+        depth: int,
+        last_nested: dict[str, CallPair] | None,
+        builder: BatchBuilder,
+    ) -> None:
+        rows = builder.rows
+        entry, func_size, via_plt = self.engine.call_rows(
+            pair.caller, pair.symbol, site_pc, builder
+        )
+        if via_plt:
+            key = (pair.caller, pair.symbol)
+            self.touched_pairs.add(key)
+            self.pair_counts[key] = self.pair_counts.get(key, 0) + 1
+
+        body = max(6, int(rng.normal(rc.lib_body_instr, rc.lib_body_instr * 0.25)))
+        half = max(3, body // 2)
+        rows += (K_BLOCK, entry, half, half * 4, 0, 0, 1, -1)
+        lib_name = self._defining_module.get(pair.symbol)
+        if lib_name is not None:
+            rows += (K_LOAD, entry + half * 4, 1, 4, 0, self._lib_load_addr[pair.symbol], 1, -1)
+
+        nested = None
+        if depth < self.config.max_call_depth and rng.random() < rc.nested_prob:
+            nested_pairs = self._pairs_by_module.get(lib_name or "", [])
+            if nested_pairs:
+                previous = last_nested.get(lib_name) if last_nested is not None else None
+                if previous is not None and rng.random() < rc.repeat_prob:
+                    nested = previous
+                else:
+                    nested = nested_pairs[self._samplers[lib_name].sample(rng)]
+                if last_nested is not None:
+                    last_nested[lib_name] = nested
+        if nested is not None:
+            self._library_call_rows(rc, nested, nested.sites[0], rng, depth + 1, last_nested, builder)
+
+        rows += (
+            K_COND_BRANCH, entry + half * 4 + 6, 1, 6, entry + 4, 0,
+            1 if rng.random() < 0.65 else 0, -1,
+        )
+        rest = max(3, body - half)
+        rows += (K_BLOCK, entry + half * 4 + 12, rest, rest * 4, 0, 0, 1, -1)
+        rows += (K_RET, entry + max(func_size - 1, 1), 1, 1, site_pc + CALL_SITE_LEN, 0, 1, -1)
 
     # ---------------------------------------------------------- inspection
 
