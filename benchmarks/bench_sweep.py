@@ -1,0 +1,88 @@
+"""Throughput and cache effectiveness of the design-space sweep engine.
+
+Two claims the sweep engine makes, measured here at benchmark scale:
+
+* **Deduplication** — every point of one workload consumes one stored
+  trace bundle (the trace key excludes mechanism and CPU axes), so a
+  grid that is wide in configurations but narrow in workloads should
+  show a trace-cache hit rate approaching ``1 - workloads/points``.
+* **Resume is free** — rerunning a completed sweep directory re-executes
+  zero points; its wall-clock is pure checkpoint-load plus analysis and
+  must be a small fraction of the original run.
+
+The grid (2 workloads × 3 ABTB sizes × 2 associativities × 2 Bloom
+geometries = 24 points) matches the CI smoke job's shape at larger
+windows.  Numbers land in ``benchmarks/output/sweep.json`` for
+EXPERIMENTS.md.
+
+Run with ``pytest benchmarks/bench_sweep.py -q -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import tempfile
+import time
+
+from repro.sweep import SweepSpec, run_sweep
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+SPEC = SweepSpec(
+    name="bench",
+    workloads=("memcached", "apache"),
+    warmup=5,
+    measured=20,
+    abtb_entries=(16, 64, 256),
+    abtb_ways=(0, 4),
+    bloom_bits=(1 << 14, 1 << 17),
+)
+JOBS = 4
+#: Resume must cost at most this fraction of the original sharded run.
+MAX_RESUME_FRACTION = 0.5
+
+
+def test_sweep_dedup_and_resume():
+    """24-point sharded sweep: trace dedup by construction, free resume."""
+    with tempfile.TemporaryDirectory() as td:
+        out = pathlib.Path(td) / "sweep"
+        start = time.perf_counter()
+        first = run_sweep(SPEC, out, jobs=JOBS)
+        run_s = time.perf_counter() - start
+
+        assert first.ok
+        assert first.summary["completed"] == len(SPEC.expand()) == 24
+        cache = first.summary["trace_cache"]
+        # 24 points, 2 workloads: every load beyond the per-worker first
+        # touch hits the shared store.
+        assert cache["hit_rate"] > 0.5, cache
+
+        start = time.perf_counter()
+        resumed = run_sweep(None, out, jobs=JOBS)
+        resume_s = time.perf_counter() - start
+        assert resumed.summary["executed"] == 0
+        assert resumed.summary["resumed"] == 24
+        assert resume_s < run_s * MAX_RESUME_FRACTION, (
+            f"resume {resume_s:.2f}s vs run {run_s:.2f}s"
+        )
+
+        pareto = first.analysis["pareto"]
+        assert pareto, "no Pareto frontier emitted"
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    payload = {
+        "points": first.summary["points"],
+        "jobs": JOBS,
+        "run_s": round(run_s, 3),
+        "resume_s": round(resume_s, 3),
+        "trace_cache": cache,
+        "pareto_size": len(pareto),
+        "best": first.analysis["best"]["overall"],
+    }
+    (OUTPUT_DIR / "sweep.json").write_text(json.dumps(payload, indent=2))
+    print(
+        f"\nsweep: 24 points --jobs {JOBS} in {run_s:.2f}s, "
+        f"resume {resume_s:.2f}s, trace-cache hit rate {cache['hit_rate']:.1%}, "
+        f"pareto {len(pareto)}"
+    )

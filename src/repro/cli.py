@@ -17,6 +17,12 @@ Subcommands:
   (heartbeats, hang detection, requeue, quarantine, salvage) and the
   command exits 0 when complete, 3 when complete-but-degraded
   (quarantined shards, partial manifest), 1 on failure;
+* ``sweep run|resume|report`` — declarative design-space exploration
+  (see ``docs/EXPERIMENTS.md``): expand a JSON axis matrix over
+  workloads × ABTB geometry × Bloom × front-end predictors, execute it
+  sharded with checkpoint resume and shared trace/machine caches, and
+  emit Pareto-frontier / sensitivity / best-point artifacts plus a
+  self-contained HTML report under ``<out>/analysis/``;
 * ``difftest`` — differential correctness matrix: the batched backend
   must match the reference interpreter counter-for-counter on every
   selected workload profile, base and enhanced (exit 0 iff clean);
@@ -517,6 +523,44 @@ def _cmd_difftest(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import RetryPolicy as _RetryPolicy
+    from repro.sweep import DEFAULT_POLICY, SweepSpec, report_sweep, run_sweep
+
+    if args.action == "report":
+        result = report_sweep(args.out)
+        print(result.render())
+        return 0
+
+    spec = None
+    if args.action == "run":
+        spec = SweepSpec.load(args.spec)
+    policy = DEFAULT_POLICY
+    if args.timeout is not None or args.retries is not None:
+        policy = _RetryPolicy(
+            timeout_s=args.timeout,
+            max_retries=args.retries if args.retries is not None else 2,
+            backoff_max_s=DEFAULT_POLICY.backoff_max_s,
+            jitter=DEFAULT_POLICY.jitter,
+        )
+    _install_sigterm_handler()
+    try:
+        result = run_sweep(spec, args.out, jobs=args.jobs, policy=policy)
+    except KeyboardInterrupt:
+        print(
+            "sweep: interrupted — checkpoint flushed, "
+            "'repro sweep resume' to continue",
+            file=sys.stderr,
+        )
+        return 130
+    print(result.render())
+    if result.campaign.failed:
+        return 1
+    if result.campaign.degraded:
+        return 3
+    return 0
+
+
 def _cmd_checkpoint(args: argparse.Namespace) -> int:
     from repro.uarch.machine import MachineState
 
@@ -786,6 +830,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="batch size of the fast backend under test",
     )
     difftest.set_defaults(func=_cmd_difftest)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="declarative design-space sweep: expand an axis matrix, run it "
+        "sharded with checkpoint resume, emit Pareto/sensitivity analysis",
+    )
+    sweep_sub = sweep.add_subparsers(dest="action", required=True)
+    sweep_run = sweep_sub.add_parser(
+        "run", help="execute a sweep spec into an output directory"
+    )
+    sweep_run.add_argument(
+        "--spec", required=True, metavar="PATH",
+        help="JSON sweep spec (axes over workloads / ABTB / Bloom / BTB / gshare)",
+    )
+    sweep_run.add_argument(
+        "--out", required=True, metavar="DIR",
+        help="sweep output directory (spec, checkpoint, caches, analysis/)",
+    )
+    sweep_run.add_argument("--jobs", type=int, default=1, help="worker processes")
+    sweep_run.add_argument(
+        "--timeout", type=float, default=None, help="per-point timeout in seconds"
+    )
+    sweep_run.add_argument(
+        "--retries", type=int, default=None,
+        help="retries per point for transient failures [default: 2]",
+    )
+    sweep_run.set_defaults(func=_cmd_sweep)
+    sweep_resume = sweep_sub.add_parser(
+        "resume",
+        help="resume a sweep from its directory (completed points are skipped)",
+    )
+    sweep_resume.add_argument("--out", required=True, metavar="DIR")
+    sweep_resume.add_argument("--jobs", type=int, default=1)
+    sweep_resume.add_argument("--timeout", type=float, default=None)
+    sweep_resume.add_argument("--retries", type=int, default=None)
+    sweep_resume.set_defaults(func=_cmd_sweep)
+    sweep_report = sweep_sub.add_parser(
+        "report",
+        help="recompute analysis/ from the checkpoint without executing",
+    )
+    sweep_report.add_argument("--out", required=True, metavar="DIR")
+    sweep_report.set_defaults(func=_cmd_sweep)
 
     serve = sub.add_parser(
         "serve",

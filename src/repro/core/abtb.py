@@ -9,6 +9,16 @@ this is what lets the front end skip the trampoline on later executions.
 Each entry costs 12 bytes: six for the trampoline (call target) address and
 six for the function address (x86-64 uses 48-bit virtual addresses), per
 Section 5.3 of the paper.
+
+The paper's working-set analysis (Figure 5) assumes full associativity;
+real front-end tables are set-associative (the BTB model in
+:mod:`repro.uarch.btb` is 4-way).  This ABTB supports both: ``ways=0``
+(the default) is the paper's fully-associative organization, ``ways=n``
+an n-way set-associative one indexed by trampoline address — ``ways=1``
+being the direct-mapped design point.  Sets are indexed by
+``(trampoline_addr >> 4)`` because PLT stubs sit on a 16-byte pitch
+(:data:`repro.linker.module.PLT_ENTRY_SIZE`): consecutive stubs land in
+consecutive sets instead of aliasing within one.
 """
 
 from __future__ import annotations
@@ -20,71 +30,109 @@ from repro.errors import ConfigError
 #: Bytes per ABTB entry (two 48-bit virtual addresses).
 ABTB_ENTRY_BYTES = 12
 
+#: PLT stubs are 16 bytes apart; indexing by address >> 4 spreads
+#: consecutive trampolines across consecutive sets.
+_SET_SHIFT = 4
+
 
 class ABTB:
-    """Fully-associative, LRU alternate BTB.
+    """LRU/FIFO alternate BTB, fully- or set-associative.
 
-    The paper sweeps sizes from a handful of entries to 256 (≈1.5 KB);
-    full associativity with LRU matches its working-set analysis
-    (Figure 5's "ABTB working sets").
+    The paper sweeps sizes from a handful of entries to 256 (≈1.5 KB)
+    with full associativity, matching its working-set analysis
+    (Figure 5's "ABTB working sets").  ``ways`` selects the
+    organization: ``0`` keeps one set covering every entry (fully
+    associative, bit-exact with the historical behaviour), ``n >= 1``
+    splits capacity into ``entries // n`` power-of-two sets of ``n``
+    ways each, with replacement confined to the indexed set.
     """
 
-    def __init__(self, entries: int = 256, policy: str = "lru") -> None:
+    def __init__(self, entries: int = 256, policy: str = "lru", ways: int = 0) -> None:
         if entries < 1:
             raise ConfigError(f"ABTB needs at least one entry, got {entries}")
         if policy not in ("lru", "fifo"):
             raise ConfigError(f"unknown ABTB replacement policy {policy!r}")
+        if ways < 0:
+            raise ConfigError(f"ABTB ways must be >= 0, got {ways}")
+        if ways:
+            if entries % ways:
+                raise ConfigError(
+                    f"ABTB ways ({ways}) must divide entries ({entries})"
+                )
+            n_sets = entries // ways
+            if n_sets & (n_sets - 1):
+                raise ConfigError(
+                    f"ABTB set count must be a power of two, got {n_sets} "
+                    f"({entries} entries / {ways} ways)"
+                )
+        else:
+            n_sets = 1  # fully associative: one set holds everything
         self.entries = entries
         self.policy = policy
-        #: trampoline address -> (function address, GOT slot address)
-        self._table: "OrderedDict[int, tuple[int, int]]" = OrderedDict()
+        self.ways = ways
+        self._set_capacity = ways if ways else entries
+        self._set_mask = n_sets - 1
+        #: per set: trampoline address -> (function address, GOT slot address)
+        self._sets: list["OrderedDict[int, tuple[int, int]]"] = [
+            OrderedDict() for _ in range(n_sets)
+        ]
         self.lookups = 0
         self.hits = 0
         self.inserts = 0
         self.evictions = 0
         self.flushes = 0
 
+    def _set_for(self, trampoline_addr: int) -> "OrderedDict[int, tuple[int, int]]":
+        return self._sets[(trampoline_addr >> _SET_SHIFT) & self._set_mask]
+
     def lookup(self, trampoline_addr: int) -> int | None:
         """Mapped function address for a trampoline, or None."""
         self.lookups += 1
-        entry = self._table.get(trampoline_addr)
+        table = self._set_for(trampoline_addr)
+        entry = table.get(trampoline_addr)
         if entry is None:
             return None
         self.hits += 1
         if self.policy == "lru":
-            self._table.move_to_end(trampoline_addr)
+            table.move_to_end(trampoline_addr)
         return entry[0]
 
     def insert(self, trampoline_addr: int, function_addr: int, got_addr: int) -> None:
         """Learn (or refresh) a trampoline→function mapping."""
         self.inserts += 1
-        if trampoline_addr in self._table:
-            self._table.move_to_end(trampoline_addr)
-            self._table[trampoline_addr] = (function_addr, got_addr)
+        table = self._set_for(trampoline_addr)
+        if trampoline_addr in table:
+            table.move_to_end(trampoline_addr)
+            table[trampoline_addr] = (function_addr, got_addr)
             return
-        if len(self._table) >= self.entries:
-            self._table.popitem(last=False)
+        if len(table) >= self._set_capacity:
+            table.popitem(last=False)
             self.evictions += 1
-        self._table[trampoline_addr] = (function_addr, got_addr)
+        table[trampoline_addr] = (function_addr, got_addr)
 
     def got_addresses(self) -> set[int]:
         """GOT slot addresses backing the live entries."""
-        return {got for (_func, got) in self._table.values()}
+        return {
+            got for table in self._sets for (_func, got) in table.values()
+        }
 
     def flush(self) -> None:
         """Clear every entry (Bloom hit, context switch, or explicit)."""
-        self._table.clear()
+        for table in self._sets:
+            table.clear()
         self.flushes += 1
 
     # --------------------------------------------------------- SimComponent
 
     def snapshot(self) -> dict:
-        """Table contents in replacement order plus stats, JSON-safe."""
+        """Per-set contents in replacement order plus stats, JSON-safe."""
         return {
             "entries": self.entries,
             "policy": self.policy,
-            "table": [
-                [tramp, func, got] for tramp, (func, got) in self._table.items()
+            "ways": self.ways,
+            "sets": [
+                [[tramp, func, got] for tramp, (func, got) in table.items()]
+                for table in self._sets
             ],
             "lookups": self.lookups,
             "hits": self.hits,
@@ -96,18 +144,32 @@ class ABTB:
     def restore(self, state: dict) -> None:
         """Restore a snapshot taken on an identically configured ABTB.
 
-        The table's iteration order *is* the replacement order, so rows
+        Each set's iteration order *is* its replacement order, so rows
         are reinserted in snapshot order.
         """
-        if state.get("entries") != self.entries or state.get("policy") != self.policy:
+        if (
+            state.get("entries") != self.entries
+            or state.get("policy") != self.policy
+            or state.get("ways", 0) != self.ways
+        ):
             raise ConfigError(
                 f"ABTB: snapshot (entries={state.get('entries')!r}, "
-                f"policy={state.get('policy')!r}) does not match instance "
-                f"(entries={self.entries}, policy={self.policy!r})"
+                f"policy={state.get('policy')!r}, ways={state.get('ways')!r}) "
+                f"does not match instance (entries={self.entries}, "
+                f"policy={self.policy!r}, ways={self.ways})"
             )
-        self._table = OrderedDict(
-            (int(tramp), (int(func), int(got))) for tramp, func, got in state["table"]
-        )
+        sets = state["sets"]
+        if len(sets) != len(self._sets):
+            raise ConfigError(
+                f"ABTB: snapshot has {len(sets)} set(s), instance has "
+                f"{len(self._sets)}"
+            )
+        self._sets = [
+            OrderedDict(
+                (int(tramp), (int(func), int(got))) for tramp, func, got in rows
+            )
+            for rows in sets
+        ]
         self.lookups = int(state["lookups"])
         self.hits = int(state["hits"])
         self.inserts = int(state["inserts"])
@@ -116,7 +178,8 @@ class ABTB:
 
     def reset(self) -> None:
         """Empty table, zeroed stats (including the flush count)."""
-        self._table.clear()
+        for table in self._sets:
+            table.clear()
         self.lookups = 0
         self.hits = 0
         self.inserts = 0
@@ -129,14 +192,16 @@ class ABTB:
             "kind": "abtb",
             "entries": self.entries,
             "policy": self.policy,
+            "ways": self.ways,
+            "sets": len(self._sets),
             "storage_bytes": self.storage_bytes,
         }
 
     def __len__(self) -> int:
-        return len(self._table)
+        return sum(len(table) for table in self._sets)
 
     def __contains__(self, trampoline_addr: int) -> bool:
-        return trampoline_addr in self._table
+        return trampoline_addr in self._set_for(trampoline_addr)
 
     @property
     def storage_bytes(self) -> int:

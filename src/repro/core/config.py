@@ -13,6 +13,13 @@ class MechanismConfig:
 
     Attributes:
         abtb_entries: ABTB capacity (the paper sweeps 1–256; 256 ≈ 1.5 KB).
+        abtb_policy: replacement policy within an associativity set
+            ("lru" or "fifo").
+        abtb_ways: ABTB organization.  0 (the default) is the paper's
+            fully-associative table; n >= 1 models an n-way
+            set-associative table indexed by trampoline address, with
+            1 the direct-mapped point.  Must divide ``abtb_entries``
+            into a power-of-two number of sets.
         bloom_bits: Bloom filter size in bits.  The paper calls the filter
             "small" but never sizes it; because *every* retired store
             probes it, the false-positive rate must be tiny or spurious
@@ -31,6 +38,7 @@ class MechanismConfig:
 
     abtb_entries: int = 256
     abtb_policy: str = "lru"
+    abtb_ways: int = 0
     bloom_bits: int = 1 << 17
     bloom_hashes: int = 4
     use_bloom: bool = True
@@ -40,6 +48,13 @@ class MechanismConfig:
         if self.abtb_entries < 1 or self.abtb_entries & (self.abtb_entries - 1):
             raise ConfigError(
                 f"abtb_entries must be a power of two >= 1, got {self.abtb_entries}"
+            )
+        if self.abtb_ways < 0:
+            raise ConfigError(f"abtb_ways must be >= 0, got {self.abtb_ways}")
+        if self.abtb_ways and self.abtb_entries % self.abtb_ways:
+            raise ConfigError(
+                f"abtb_ways ({self.abtb_ways}) must divide abtb_entries "
+                f"({self.abtb_entries})"
             )
         if self.bloom_bits < 8:
             raise ConfigError("bloom_bits must be >= 8")

@@ -53,7 +53,10 @@ class TrampolineSkipMechanism:
     config: MechanismConfig = field(default_factory=MechanismConfig)
 
     def __post_init__(self) -> None:
-        self.abtb = ABTB(self.config.abtb_entries, self.config.abtb_policy)
+        self.abtb = ABTB(
+            self.config.abtb_entries, self.config.abtb_policy,
+            ways=self.config.abtb_ways,
+        )
         self.bloom = BloomFilter(self.config.bloom_bits, self.config.bloom_hashes)
         self.stats = MechanismStats()
 

@@ -291,11 +291,15 @@ def difftest_workload(
     batch_events: int = 4096,
     cpu_config: CPUConfig | None = None,
     generation: str = "array",
+    mechanism_config: MechanismConfig | None = None,
 ) -> DiffReport:
     """Differential run of one workload profile.
 
     ``abtb_entries=None`` builds base machines (no mechanism); an integer
-    builds enhanced machines with that ABTB size.
+    builds enhanced machines with that ABTB size.  ``mechanism_config``
+    overrides the whole mechanism configuration instead (set-associative
+    ABTB organizations, Bloom geometry, ...) — full-snapshot equality
+    then covers the per-set state of the organization under test.
 
     ``generation`` picks what the *fast* machine consumes: ``"array"``
     (the default) feeds it batches from the vectorized generation path —
@@ -314,13 +318,25 @@ def difftest_workload(
         else None
     )
 
+    if mechanism_config is not None and abtb_entries is not None:
+        raise ConfigError("pass abtb_entries or mechanism_config, not both")
+
     def make_cpu() -> CPU:
         mechanism = None
-        if abtb_entries is not None:
+        if mechanism_config is not None:
+            mechanism = TrampolineSkipMechanism(mechanism_config)
+        elif abtb_entries is not None:
             mechanism = TrampolineSkipMechanism(MechanismConfig(abtb_entries=abtb_entries))
         return CPU(cpu_config, mechanism)
 
-    label = f"{workload}/{'base' if abtb_entries is None else f'abtb={abtb_entries}'}"
+    if mechanism_config is not None:
+        ways = mechanism_config.abtb_ways or "full"
+        mech_label = f"abtb={mechanism_config.abtb_entries}/{ways}"
+    elif abtb_entries is not None:
+        mech_label = f"abtb={abtb_entries}"
+    else:
+        mech_label = "base"
+    label = f"{workload}/{mech_label}"
     return diff_backends(
         events, make_cpu, batch_events=batch_events, label=label, fast_batches=fast_batches
     )

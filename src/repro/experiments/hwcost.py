@@ -29,6 +29,25 @@ def storage_table() -> list[tuple[int, int, int]]:
     ]
 
 
+def mechanism_storage_bytes(
+    abtb_entries: int,
+    bloom_bits: int = MechanismConfig.bloom_bits,
+    use_bloom: bool = True,
+) -> int:
+    """Modeled hardware cost of one mechanism configuration, in bytes.
+
+    The Section 5.3 accounting extended to the whole mechanism: the ABTB
+    at 12 B/entry plus the Bloom filter's bit array (its hash count is
+    logic, not storage).  This is the cost axis the sweep engine's
+    Pareto frontier uses — associativity changes conflict behaviour, not
+    storage, so ``abtb_ways`` does not appear.
+    """
+    cost = abtb_entries * ABTB_ENTRY_BYTES
+    if use_bloom:
+        cost += bloom_bits // 8
+    return cost
+
+
 def run(scale: Scale = SMOKE) -> Report:
     """Reproduce the Section 5.3 storage accounting."""
     report = Report("hwcost", "ABTB hardware storage cost")

@@ -11,6 +11,9 @@ comparison.
 
 from __future__ import annotations
 
+import hashlib
+import inspect
+import json
 import math
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
@@ -579,16 +582,49 @@ MANIFEST_VERSION = 1
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Timeout/retry knobs for one campaign run."""
+    """Timeout/retry knobs for one campaign run.
+
+    ``backoff_max_s`` caps the exponential curve: without it a handful of
+    retries of a long ``backoff_base_s`` produces multi-minute sleeps that
+    dwarf the runs they guard.  ``jitter`` (a fraction in [0, 1]) spreads
+    concurrent shards apart: when N shards fail together — a shared cache
+    directory briefly unwritable, a machine-wide stall — an unjittered
+    policy has all N retry in lockstep and collide again.  The jitter is
+    *deterministic*, seeded from the pair key, so a given shard always
+    sleeps the same amount (reruns stay reproducible) while different
+    shards desynchronise.  Defaults keep the historical schedule exactly:
+    zero jitter, and a cap no smoke-scale sequence ever reaches.
+    """
 
     timeout_s: float | None = None  # None → no per-run timeout
     max_retries: int = 2  # retries after the first attempt
     backoff_base_s: float = 0.25
     backoff_factor: float = 2.0
+    backoff_max_s: float = 60.0
+    jitter: float = 0.0
 
-    def backoff(self, attempt: int) -> float:
-        """Sleep before retry ``attempt`` (1-based)."""
-        return self.backoff_base_s * (self.backoff_factor ** (attempt - 1))
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.backoff_max_s < 0:
+            raise ConfigError(f"backoff_max_s must be >= 0, got {self.backoff_max_s}")
+
+    def backoff(self, attempt: int, key: str = "") -> float:
+        """Sleep before retry ``attempt`` (1-based), jittered by ``key``.
+
+        The jitter scales the capped delay by a factor in
+        ``[1 - jitter, 1]`` drawn from a hash of ``(key, attempt)`` —
+        pure subtraction, so the cap stays a hard upper bound.
+        """
+        delay = min(
+            self.backoff_base_s * (self.backoff_factor ** (attempt - 1)),
+            self.backoff_max_s,
+        )
+        if self.jitter > 0.0:
+            digest = hashlib.sha256(f"{key}:{attempt}".encode("utf-8")).digest()
+            frac = int.from_bytes(digest[:8], "big") / float(1 << 64)
+            delay *= 1.0 - self.jitter * frac
+        return delay
 
 
 @dataclass
@@ -602,10 +638,20 @@ class CampaignResult:
     #: Shards the supervisor gave up on (key → failure details); the
     #: campaign still completes, *degraded*, with a partial manifest.
     quarantined: dict[str, dict] = field(default_factory=dict)
+    #: Aggregated trace-store load outcomes across the parent and every
+    #: worker ({"hits": n, "misses": n}); empty when no trace cache ran.
+    cache_stats: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return not self.failed and not self.quarantined
+
+    @property
+    def trace_hit_rate(self) -> float:
+        """Fraction of trace-store loads that hit (0.0 with no loads)."""
+        hits = self.cache_stats.get("hits", 0)
+        total = hits + self.cache_stats.get("misses", 0)
+        return hits / total if total else 0.0
 
     @property
     def degraded(self) -> bool:
@@ -636,6 +682,27 @@ class CampaignResult:
 def pair_key(workload: str, abtb_entries: int, scale_name: str) -> str:
     """Stable checkpoint key for one (workload, config) pair."""
     return f"{workload}::abtb={abtb_entries}::scale={scale_name}"
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One fully-specified campaign task.
+
+    The classic campaign grid is (workload × ABTB size); a point
+    additionally pins a full mechanism configuration and/or CPU geometry,
+    which is what the sweep engine (:mod:`repro.sweep`) fans out over.
+    ``mechanism`` is a dict of :class:`~repro.core.config.MechanismConfig`
+    kwargs and ``cpu`` a (possibly partial) dict understood by
+    :meth:`~repro.uarch.cpu.CPUConfig.from_dict` — plain JSON-safe dicts,
+    so points pickle cleanly across the process-pool boundary and keys
+    stay stable in checkpoints.
+    """
+
+    key: str
+    workload: str
+    abtb_entries: int = 256
+    mechanism: dict | None = None
+    cpu: dict | None = None
 
 
 def summarize_pair(base: RunResult, enhanced: RunResult) -> dict:
@@ -715,6 +782,10 @@ def _attempt_with_timeout(fn: Callable[[], object], timeout_s: float | None):
     Python cannot kill a running thread, so a timed-out attempt's thread
     is abandoned (daemonised via ``shutdown(wait=False)``) — acceptable
     for a simulator run, and the reason timeouts should be generous.
+    The abandoned thread keeps executing; callers that feed it callbacks
+    (progress, incident recorders) must gate them through an
+    :class:`AttemptGate` so a zombie attempt cannot write into the retry
+    attempt's results.
     """
     if timeout_s is None:
         return fn()
@@ -730,6 +801,91 @@ def _attempt_with_timeout(fn: Callable[[], object], timeout_s: float | None):
         executor.shutdown(wait=False)
 
 
+class AttemptGate:
+    """Liveness flag for one run attempt's side-effect callbacks.
+
+    A timed-out attempt's worker thread cannot be killed (see
+    :func:`_attempt_with_timeout`), so it survives into the retry and
+    keeps calling whatever ``progress``/recorder callbacks it was
+    given — double-counting progress and incidents into the *new*
+    attempt's results.  Each attempt therefore gets a fresh gate; the
+    retry loop flips it with :meth:`expire` before retrying, turning the
+    zombie's callbacks into no-ops.
+    """
+
+    __slots__ = ("_live",)
+
+    def __init__(self) -> None:
+        self._live = True
+
+    @property
+    def live(self) -> bool:
+        return self._live
+
+    def expire(self) -> None:
+        """Silence every callback wrapped by this gate, permanently."""
+        self._live = False
+
+    def wrap(self, callback):
+        """``callback`` guarded by this gate (None passes through)."""
+        if callback is None:
+            return None
+
+        def gated(*args, **kwargs):
+            if self._live:
+                return callback(*args, **kwargs)
+
+        return gated
+
+    def recorder(self, recorder):
+        """An incident-recorder proxy that drops records once expired."""
+        if recorder is None:
+            return None
+        return _GatedRecorder(self, recorder)
+
+
+class _GatedRecorder:
+    """Recorder proxy: ``record`` is gated, everything else delegates."""
+
+    __slots__ = ("_gate", "_inner")
+
+    def __init__(self, gate: AttemptGate, inner) -> None:
+        self._gate = gate
+        self._inner = inner
+
+    def record(self, *args, **kwargs):
+        if self._gate.live:
+            return self._inner.record(*args, **kwargs)
+        return None
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def _accepted_kwargs(fn) -> frozenset:
+    """Keyword names ``fn`` accepts (everything, for ``**kwargs``).
+
+    Campaign ``run_fn`` callables historically took exactly
+    ``(workload, scale, abtb)``; newer capabilities — per-point
+    mechanism/CPU configs, the attempt gate — are passed only when the
+    callable declares them, so existing custom callables keep working.
+    """
+    try:
+        sig = inspect.signature(fn)
+    except (TypeError, ValueError):
+        return frozenset()
+    names = set()
+    for param in sig.parameters.values():
+        if param.kind == inspect.Parameter.VAR_KEYWORD:
+            return frozenset({"gate", "mechanism", "cpu"})
+        if param.kind in (
+            inspect.Parameter.KEYWORD_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            names.add(param.name)
+    return frozenset(names)
+
+
 def _run_one_pair(
     key: str,
     workload: str,
@@ -739,6 +895,8 @@ def _run_one_pair(
     run_fn: Callable[[str, object, int], tuple[RunResult, RunResult]],
     sleep_fn: Callable[[float], None],
     obs=None,
+    mechanism: dict | None = None,
+    cpu: dict | None = None,
 ) -> dict:
     """One pair with the full retry/timeout discipline; never raises.
 
@@ -747,33 +905,61 @@ def _run_one_pair(
     ``summary`` (a :func:`summarize_pair` dict) is set.  Both the serial
     loop and the sharded worker run pairs through this, so their
     summaries are produced by identical code.
+
+    ``mechanism``/``cpu`` are optional per-point config dicts (see
+    :class:`CampaignPoint`), forwarded to ``run_fn`` when it accepts the
+    matching keywords.  Every attempt runs under a fresh
+    :class:`AttemptGate` (passed as ``gate=`` to gate-aware ``run_fn``
+    callables) that is expired before any retry, so a timed-out
+    attempt's abandoned thread cannot leak callbacks into its successor.
+    Backoff sleeps are keyed by the pair key for deterministic jitter.
     """
+    accepted = _accepted_kwargs(run_fn)
+    extra: dict = {}
+    if mechanism is not None:
+        if "mechanism" not in accepted:
+            raise ConfigError(
+                "per-point mechanism configs require a run_fn accepting "
+                "a 'mechanism' keyword (the default run_fn does)"
+            )
+        extra["mechanism"] = mechanism
+    if cpu is not None:
+        if "cpu" not in accepted:
+            raise ConfigError(
+                "per-point CPU configs require a run_fn accepting a "
+                "'cpu' keyword (the default run_fn does)"
+            )
+        extra["cpu"] = cpu
+    gate_aware = "gate" in accepted
     attempt = 0
     retries = 0
     while True:
         attempt += 1
+        gate = AttemptGate()
+        kwargs = dict(extra)
+        if gate_aware:
+            kwargs["gate"] = gate
+        call = lambda: run_fn(workload, scale, abtb, **kwargs)  # noqa: E731
         try:
             if obs is not None and obs.tracer is not None:
                 with obs.tracer.span(
                     f"pair {key}", category="campaign", attempt=attempt
                 ):
-                    pair = _attempt_with_timeout(
-                        lambda: run_fn(workload, scale, abtb), policy.timeout_s
-                    )
+                    pair = _attempt_with_timeout(call, policy.timeout_s)
             else:
-                pair = _attempt_with_timeout(
-                    lambda: run_fn(workload, scale, abtb), policy.timeout_s
-                )
+                pair = _attempt_with_timeout(call, policy.timeout_s)
         except ExperimentError as exc:
+            gate.expire()  # the abandoned thread must stop reporting
             if attempt > policy.max_retries:
                 return {
                     "key": key, "attempts": attempt, "retries": retries,
                     "failed": str(exc), "summary": None,
                 }
             retries += 1
-            sleep_fn(policy.backoff(attempt))
+            sleep_fn(policy.backoff(attempt, key=key))
             continue
         except Exception as exc:  # non-transient: fail fast, move on
+            gate.expire()
             return {
                 "key": key, "attempts": attempt, "retries": retries,
                 "failed": f"{type(exc).__name__}: {exc}", "summary": None,
@@ -850,18 +1036,27 @@ def _campaign_worker(task: dict) -> dict:
             force_diverge_at_check=1,
         )
 
-    def run_fn(w, s, n):
+    def run_fn(w, s, n, mechanism=None, cpu=None, gate=None):
+        rec = gate.recorder(recorder) if gate is not None else recorder
         return run_pair(
-            w, s, abtb_entries=n, obs=obs, machine_cache=cache,
+            w, s, abtb_entries=n,
+            cpu_config=CPUConfig.from_dict(cpu) if cpu else None,
+            mechanism_config=MechanismConfig(**mechanism) if mechanism else None,
+            obs=obs, machine_cache=cache,
             trace_cache=traces,
             backend=task.get("backend", "reference"),
-            recorder=recorder, watchdog=watchdog,
+            recorder=rec, watchdog=watchdog,
         )
 
     outcome = _run_one_pair(
         task["key"], task["workload"], task["scale"], task["abtb"],
         task["policy"], run_fn, time.sleep, obs=obs,
+        mechanism=task.get("mechanism"), cpu=task.get("cpu"),
     )
+    if traces is not None:
+        # Per-task store instance, so these counters sum cleanly in the
+        # parent's CampaignResult.cache_stats aggregation.
+        outcome["trace_cache"] = {"hits": traces.hits, "misses": traces.misses}
     outcome["incidents"] = recorder.as_dicts()
     outcome["metrics_state"] = (
         obs.metrics.state_dict() if obs is not None and obs.metrics is not None else None
@@ -893,8 +1088,17 @@ def run_campaign(
     watchdog: WatchdogPolicy | None = None,
     bus=None,
     campaign_id: str = "",
+    points: Sequence[CampaignPoint] | None = None,
 ) -> CampaignResult:
     """Sweep (workload × ABTB size) with timeout, retry and checkpointing.
+
+    ``points`` replaces the (workload × ABTB size) grid with an explicit
+    list of :class:`CampaignPoint` tasks, each carrying its own
+    checkpoint key and optional mechanism/CPU config dicts — the
+    substrate the sweep engine (:mod:`repro.sweep`) builds on.  All the
+    machinery below (retry, checkpointing, sharding, supervision,
+    cache prefill) applies to points exactly as it does to grid pairs;
+    ``workloads``/``abtb_sizes`` must be empty when points are given.
 
     Transient failures (:class:`ExperimentError`, including timeouts) are
     retried up to ``policy.max_retries`` times with exponential backoff;
@@ -971,36 +1175,57 @@ def run_campaign(
         )
     parallel = jobs > 1 and default_callables and not supervise
     if run_fn is None:
-        run_fn = lambda w, s, n: run_pair(  # noqa: E731
-            w, s, abtb_entries=n, obs=obs, machine_cache=machine_cache,
-            trace_cache=trace_cache,
-            backend=backend, recorder=recorder, watchdog=watchdog,
-        )
+        def run_fn(w, s, n, mechanism=None, cpu=None, gate=None):
+            rec = gate.recorder(recorder) if gate is not None else recorder
+            return run_pair(
+                w, s, abtb_entries=n,
+                cpu_config=CPUConfig.from_dict(cpu) if cpu else None,
+                mechanism_config=(
+                    MechanismConfig(**mechanism) if mechanism else None
+                ),
+                obs=obs, machine_cache=machine_cache,
+                trace_cache=trace_cache,
+                backend=backend, recorder=rec, watchdog=watchdog,
+            )
     path = Path(checkpoint_path) if checkpoint_path is not None else None
     completed = _load_checkpoint(path, recorder) if path is not None else {}
     result = CampaignResult(completed=dict(completed))
 
     scale_name = getattr(scale, "name", str(scale))
+    if points is not None:
+        if workloads:
+            raise ConfigError("pass either workloads or points, not both")
+        keys = [p.key for p in points]
+        if len(set(keys)) != len(keys):
+            raise ConfigError("campaign points have duplicate keys")
+        specs = [
+            (p.key, p.workload, p.abtb_entries, p.mechanism, p.cpu)
+            for p in points
+        ]
+    else:
+        specs = [
+            (pair_key(workload, abtb, scale_name), workload, abtb, None, None)
+            for workload in workloads
+            for abtb in abtb_sizes
+        ]
     if bus is not None:
         bus.emit(
             "campaign_started",
-            f"campaign over {len(workloads)} workload(s) x "
-            f"{len(abtb_sizes)} ABTB size(s) at scale {scale_name} "
+            f"campaign over {len(specs)} point(s) at scale {scale_name} "
             f"(backend={backend}, jobs={jobs})",
             campaign_id=campaign_id,
-            workloads=list(workloads),
-            abtb_sizes=list(abtb_sizes),
+            workloads=sorted({w for _k, w, _a, _m, _c in specs}),
+            abtb_sizes=list(abtb_sizes) if points is None else [],
+            points=len(specs),
             backend=backend,
             jobs=jobs,
         )
-    tasks: list[tuple[str, str, int]] = []
-    for workload in workloads:
-        for abtb in abtb_sizes:
-            key = pair_key(workload, abtb, scale_name)
-            if key in completed:
-                result.resumed += 1
-            else:
-                tasks.append((key, workload, abtb))
+    tasks: list[tuple[str, str, int, dict | None, dict | None]] = []
+    for key, workload, abtb, mech_cfg, cpu_cfg in specs:
+        if key in completed:
+            result.resumed += 1
+        else:
+            tasks.append((key, workload, abtb, mech_cfg, cpu_cfg))
 
     if (
         trace_cache is not None
@@ -1015,16 +1240,35 @@ def run_campaign(
         # regenerates the identical trace bundle and re-simulates the
         # identical base-machine warm-up (the racy first-fill is benign
         # but wasteful, and on few-core machines the waste is pure
-        # wall-clock).
+        # wall-clock).  Base machines are warmed per distinct CPU
+        # geometry: points sweeping BTB/gshare shapes each get their own
+        # shared base checkpoint.
+        distinct_cpus: list[dict | None] = []
+        seen_cpus: set = set()
+        for _k, _w, _a, _m, cpu_cfg in tasks:
+            mark = (
+                json.dumps(cpu_cfg, sort_keys=True) if cpu_cfg is not None else None
+            )
+            if mark not in seen_cpus:
+                seen_cpus.add(mark)
+                distinct_cpus.append(cpu_cfg)
         _prefill_caches(
-            dict.fromkeys(w for _k, w, _a in tasks),
+            dict.fromkeys(w for _k, w, _a, _m, _c in tasks),
             scale, machine_cache, trace_cache,
+            cpu_dicts=distinct_cpus,
         )
 
     def absorb(outcome: dict) -> None:
         """Fold one pair outcome into the result + obs, serially."""
         key = outcome["key"]
         result.attempts[key] = outcome["attempts"]
+        worker_cache = outcome.get("trace_cache")
+        if worker_cache:
+            for field_name in ("hits", "misses"):
+                result.cache_stats[field_name] = (
+                    result.cache_stats.get(field_name, 0)
+                    + int(worker_cache.get(field_name, 0))
+                )
         if obs is not None and obs.metrics is not None and outcome["retries"]:
             obs.metrics.counter("campaign.retries").inc(outcome["retries"])
         if outcome["failed"] is not None:
@@ -1072,6 +1316,14 @@ def run_campaign(
             recorder.extend_dicts(outcome["incidents"])
 
     def finish() -> CampaignResult:
+        if trace_cache is not None and (trace_cache.hits or trace_cache.misses):
+            # Loads done in this process: the serial loop and the prefill.
+            for field_name, count in (
+                ("hits", trace_cache.hits), ("misses", trace_cache.misses),
+            ):
+                result.cache_stats[field_name] = (
+                    result.cache_stats.get(field_name, 0) + count
+                )
         if manifest_path is not None:
             _write_manifest(manifest_path, result, recorder)
         if bus is not None:
@@ -1088,9 +1340,13 @@ def run_campaign(
             )
         return result
 
-    def make_task(key: str, workload: str, abtb: int) -> dict:
+    def make_task(
+        key: str, workload: str, abtb: int,
+        mechanism: dict | None = None, cpu: dict | None = None,
+    ) -> dict:
         return {
             "key": key, "workload": workload, "abtb": abtb,
+            "mechanism": mechanism, "cpu": cpu,
             "scale": scale, "policy": policy,
             "obs_spec": _obs_spec(obs),
             "machine_cache_dir": (
@@ -1123,7 +1379,10 @@ def run_campaign(
 
             supervisor = CampaignSupervisor(
                 _campaign_worker,
-                [(key, make_task(key, workload, abtb)) for key, workload, abtb in tasks],
+                [
+                    (key, make_task(key, workload, abtb, mech_cfg, cpu_cfg))
+                    for key, workload, abtb, mech_cfg, cpu_cfg in tasks
+                ],
                 jobs=jobs,
                 policy=supervisor_policy,
                 recorder=recorder,
@@ -1133,7 +1392,7 @@ def run_campaign(
             )
             report = supervisor.run()
             # Fold in deterministic task order, like the serial loop.
-            for key, _workload, _abtb in tasks:
+            for key, *_rest in tasks:
                 if key in report.outcomes:
                     outcome = report.outcomes[key]
                     absorb(outcome)
@@ -1143,10 +1402,11 @@ def run_campaign(
             return finish()
 
         if not parallel:
-            for key, workload, abtb in tasks:
+            for key, workload, abtb, mech_cfg, cpu_cfg in tasks:
                 absorb(
                     _run_one_pair(
-                        key, workload, scale, abtb, policy, run_fn, sleep_fn, obs=obs
+                        key, workload, scale, abtb, policy, run_fn, sleep_fn,
+                        obs=obs, mechanism=mech_cfg, cpu=cpu_cfg,
                     )
                 )
             return finish()
@@ -1155,8 +1415,11 @@ def run_campaign(
         outcomes: dict[str, dict] = {}
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = {
-                pool.submit(_campaign_worker, make_task(key, workload, abtb)): key
-                for key, workload, abtb in tasks
+                pool.submit(
+                    _campaign_worker,
+                    make_task(key, workload, abtb, mech_cfg, cpu_cfg),
+                ): key
+                for key, workload, abtb, mech_cfg, cpu_cfg in tasks
             }
             for future in as_completed(futures):
                 key = futures[future]
@@ -1184,7 +1447,7 @@ def run_campaign(
 
         # Merge in the serial loop's order so attempts/completed/failed and
         # the obs streams are deterministic regardless of arrival order.
-        for key, _workload, _abtb in tasks:
+        for key, *_rest in tasks:
             outcome = outcomes[key]
             absorb(outcome)
             merge_worker_state(outcome)
@@ -1216,6 +1479,7 @@ def _prefill_caches(
     scale,
     machine_cache: CheckpointStore | None,
     trace_cache: TraceStore,
+    cpu_dicts: Sequence[dict | None] = (None,),
 ) -> None:
     """Serially warm the cross-shard artifacts before fanning out.
 
@@ -1224,15 +1488,17 @@ def _prefill_caches(
     machine (its checkpoint key has no mechanism either).  Each is
     generated/simulated once here, in the parent, so every shard's
     shared work becomes a pure cache hit.  Enhanced machines are
-    per-(workload, ABTB) — exactly one shard each — and are left to the
-    shards.  Mirrors the default :func:`run_pair` recipe (module default
-    config, DYNAMIC mode, default CPU geometry, scale-derived windows)
-    so the keys match what :func:`run_workload` computes.
+    per-(workload, mechanism config) — exactly one shard each — and are
+    left to the shards.  Mirrors the default :func:`run_pair` recipe
+    (module default config, DYNAMIC mode, scale-derived windows) so the
+    keys match what :func:`run_workload` computes; ``cpu_dicts`` lists
+    the distinct CPU geometries in play (``None`` = default), each of
+    which gets its own warm base machine.
 
     Anything that cannot be prefilled — an unknown workload, a
-    degenerate scale — is skipped: the corresponding pair surfaces the
-    real error (or fills the caches itself) through the normal retry
-    machinery.
+    degenerate scale, an invalid CPU dict — is skipped: the
+    corresponding pair surfaces the real error (or fills the caches
+    itself) through the normal retry machinery.
     """
     for name in workload_names:
         module = ALL_WORKLOADS.get(name)
@@ -1252,24 +1518,30 @@ def _prefill_caches(
             trace_cache.save(key, bundle)
         if machine_cache is None:
             continue
-        cpu = CPU()
-        base_key = warmup_machine_key(config, LinkMode.DYNAMIC, cpu.config, None, warmup)
-        if machine_cache.load(base_key) is not None:
-            continue
-        BatchedBackend(cpu).run_batches((bundle.startup, bundle.warmup))
-        cpu.finalize()
-        machine_cache.save(
-            base_key,
-            MachineState.capture(
-                cpu,
-                meta={
-                    "workload": config.name,
-                    "mode": LinkMode.DYNAMIC.value,
-                    "label": "base",
-                    "warmup_requests": warmup,
-                },
-            ),
-        )
+        for cpu_dict in cpu_dicts:
+            try:
+                cpu = CPU(CPUConfig.from_dict(cpu_dict)) if cpu_dict else CPU()
+            except (ConfigError, ValueError):
+                continue
+            base_key = warmup_machine_key(
+                config, LinkMode.DYNAMIC, cpu.config, None, warmup
+            )
+            if machine_cache.load(base_key) is not None:
+                continue
+            BatchedBackend(cpu).run_batches((bundle.startup, bundle.warmup))
+            cpu.finalize()
+            machine_cache.save(
+                base_key,
+                MachineState.capture(
+                    cpu,
+                    meta={
+                        "workload": config.name,
+                        "mode": LinkMode.DYNAMIC.value,
+                        "label": "base",
+                        "warmup_requests": warmup,
+                    },
+                ),
+            )
 
 
 def _write_manifest(
@@ -1285,6 +1557,7 @@ def _write_manifest(
         "attempts": result.attempts,
         "resumed": result.resumed,
         "degraded": result.degraded,
+        "cache_stats": result.cache_stats,
         "incident_counts": recorder.counts() if recorder is not None else {},
     }
     return write_artifact(manifest_path, payload, MANIFEST_SCHEMA, MANIFEST_VERSION)

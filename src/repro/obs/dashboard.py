@@ -196,14 +196,12 @@ def _jsonl_records(path: Path) -> list[dict]:
     return records
 
 
-_TEMPLATE = """<!DOCTYPE html>
-<html lang="en">
-<head>
-<meta charset="utf-8">
-<meta name="viewport" content="width=device-width, initial-scale=1">
-<title>Campaign telemetry</title>
-<style>
-.viz-root {
+#: The dashboard's visual system -- palette variables (light/dark),
+#: tiles, cards, tables, chart and badge styles -- exported so other
+#: self-contained report pages (e.g. the sweep engine's Pareto report,
+#: repro.sweep.report) render with the same look without duplicating
+#: the stylesheet.
+DASHBOARD_CSS = """.viz-root {
   color-scheme: light;
   --page:          #f9f9f7;
   --surface-1:     #fcfcfb;
@@ -365,7 +363,16 @@ svg.chart text {
 .feed .kind { color: var(--text-secondary); white-space: nowrap; }
 .feed .msg { flex: 1; }
 .feed .corr { color: var(--text-muted); font-size: 11px; white-space: nowrap; }
-</style>
+"""
+
+_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>Campaign telemetry</title>
+<style>
+""" + DASHBOARD_CSS + """</style>
 </head>
 <body class="viz-root">
 <main>

@@ -353,18 +353,27 @@ class WorkerAgent:
             else None
         )
 
-        def run_fn(workload: str, scale_obj, abtb: int):
+        def run_fn(workload: str, scale_obj, abtb: int, gate=None):
+            # Gate the progress/recorder callbacks per attempt: a
+            # timed-out attempt's abandoned thread keeps simulating, and
+            # without the gate it would keep banking progress (and
+            # incidents) into the retry attempt's heartbeats.
+            progress = self.progress.add
+            rec = recorder
+            if gate is not None:
+                progress = gate.wrap(progress)
+                rec = gate.recorder(recorder)
             return run_pair(
                 workload,
                 scale_obj,
                 abtb,
                 seed=payload.get("seed"),
                 backend=payload.get("backend", "reference"),
-                recorder=recorder,
+                recorder=rec,
                 watchdog=watchdog,
                 machine_cache=machine_cache,
                 trace_cache=trace_cache,
-                progress=self.progress.add,
+                progress=progress,
             )
 
         outcome = _run_one_pair(

@@ -1,0 +1,180 @@
+"""Sweep analysis: Pareto frontier, per-axis sensitivity, best points.
+
+Raw sweep output is one summary per (workload, configuration) point; the
+questions a design-space exploration answers live one level up:
+
+* **Pareto frontier** — which *configurations* are undominated in
+  (modeled hardware cost, speedup)?  Speedups are aggregated across
+  workloads by geometric mean (the conventional mean for ratios), cost
+  comes from :func:`repro.experiments.hwcost.mechanism_storage_bytes`.
+* **Sensitivity** — per axis, how much does the mean speedup move
+  between the axis's best and worst value, all other axes marginalised?
+  Ranks the axes by how much they matter.
+* **Best points** — the highest-speedup configuration overall and per
+  workload.
+
+Everything here is pure computation over JSON-safe dicts; the engine
+persists the results under ``analysis/`` and the report module renders
+them.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sweep.spec import AXES
+
+#: Configuration identity = every axis except the workload.
+CONFIG_AXES = tuple(a for a in AXES if a != "workload")
+
+
+def completed_rows(points, completed: dict) -> list[dict]:
+    """Join expanded points with their campaign summaries.
+
+    Points whose key is missing from ``completed`` (failed, quarantined,
+    not yet run) are simply absent — analysis always reflects exactly
+    the finished work.
+    """
+    rows = []
+    for point in points:
+        summary = completed.get(point.key)
+        if not summary:
+            continue
+        row = {"key": point.key, "cost_bytes": point.cost_bytes}
+        row.update(point.axes)
+        for metric in (
+            "speedup", "skip_rate", "instructions", "base_cycles", "enhanced_cycles",
+        ):
+            if metric in summary:
+                row[metric] = summary[metric]
+        rows.append(row)
+    return rows
+
+
+def _geomean(values) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def config_id(row: dict) -> tuple:
+    """The machine configuration of a row, workload marginalised out."""
+    return tuple(row[a] for a in CONFIG_AXES)
+
+
+def aggregate_configs(rows: list[dict]) -> list[dict]:
+    """One record per configuration: per-workload speedups + geomean.
+
+    Order is first-seen (i.e. the spec's deterministic expansion order),
+    so repeated analyses of one sweep produce identical artifacts.
+    """
+    configs: dict[tuple, dict] = {}
+    for row in rows:
+        cid = config_id(row)
+        rec = configs.get(cid)
+        if rec is None:
+            rec = {a: row[a] for a in CONFIG_AXES}
+            rec["cost_bytes"] = row["cost_bytes"]
+            rec["workloads"] = {}
+            configs[cid] = rec
+        rec["workloads"][row["workload"]] = row["speedup"]
+    out = []
+    for rec in configs.values():
+        rec["speedup"] = _geomean(rec["workloads"].values())
+        out.append(rec)
+    return out
+
+
+def pareto_frontier(configs: list[dict]) -> list[dict]:
+    """Mark and return the undominated (cost, speedup) configurations.
+
+    A configuration is on the frontier iff no strictly cheaper
+    configuration achieves at least its speedup.  Every record in
+    ``configs`` gains an ``on_frontier`` flag (mutated in place); the
+    returned list holds the frontier sorted by cost ascending.
+    """
+    by_cost = sorted(configs, key=lambda r: (r["cost_bytes"], -r["speedup"]))
+    frontier = []
+    best = -math.inf
+    last_cost = None
+    for rec in by_cost:
+        # Equal-cost configs: only the fastest can be undominated.
+        if rec["cost_bytes"] == last_cost:
+            rec["on_frontier"] = False
+            continue
+        if rec["speedup"] > best:
+            rec["on_frontier"] = True
+            frontier.append(rec)
+            best = rec["speedup"]
+            last_cost = rec["cost_bytes"]
+        else:
+            rec["on_frontier"] = False
+    return frontier
+
+
+def sensitivity(rows: list[dict], axis_values: dict) -> list[dict]:
+    """Per-axis speedup statistics, ranked by effect size.
+
+    For each axis with at least two distinct values among the completed
+    rows: mean/min/max speedup per value (all other axes marginalised),
+    and ``effect`` = spread between the best and worst value means — the
+    first-order "does this axis matter" number.
+    """
+    tables = []
+    for axis in AXES:
+        declared = axis_values.get(axis, ())
+        groups: dict = {}
+        for row in rows:
+            groups.setdefault(row[axis], []).append(row["speedup"])
+        if len(groups) < 2:
+            continue
+        # Report values in declared-axis order so tables read like the spec.
+        ordered = [v for v in declared if v in groups]
+        ordered += [v for v in groups if v not in ordered]
+        values = []
+        for value in ordered:
+            speedups = groups[value]
+            values.append(
+                {
+                    "value": value,
+                    "count": len(speedups),
+                    "mean": sum(speedups) / len(speedups),
+                    "min": min(speedups),
+                    "max": max(speedups),
+                }
+            )
+        means = [v["mean"] for v in values]
+        tables.append(
+            {"axis": axis, "values": values, "effect": max(means) - min(means)}
+        )
+    tables.sort(key=lambda t: -t["effect"])
+    return tables
+
+
+def best_points(rows: list[dict], configs: list[dict]) -> dict:
+    """The winning configuration overall and the winning row per workload."""
+    out: dict = {"overall": None, "per_workload": {}}
+    if configs:
+        out["overall"] = max(configs, key=lambda r: r["speedup"])
+    per: dict = {}
+    for row in rows:
+        current = per.get(row["workload"])
+        if current is None or row["speedup"] > current["speedup"]:
+            per[row["workload"]] = row
+    out["per_workload"] = {w: per[w] for w in sorted(per)}
+    return out
+
+
+def analyze_sweep(points, completed: dict, axis_values: dict) -> dict:
+    """The full analysis bundle for one sweep's completed points."""
+    rows = completed_rows(points, completed)
+    configs = aggregate_configs(rows)
+    frontier = pareto_frontier(configs)
+    return {
+        "points": rows,
+        "configs": configs,
+        "pareto": frontier,
+        "sensitivity": sensitivity(rows, axis_values),
+        "best": best_points(rows, configs),
+    }

@@ -1,0 +1,287 @@
+"""Declarative experiment matrices over the mechanism design space.
+
+The paper evaluates one ABTB design point — 256 entries, fully
+associative, one Bloom geometry.  A :class:`SweepSpec` declares *axes*
+instead: per-axis value lists over the workload profile, ABTB geometry
+(entries / associativity / replacement), Bloom configuration and the
+front-end predictor shapes, which :meth:`SweepSpec.expand` turns into
+the full cross product of :class:`SweepPoint` configurations.  Each
+point carries everything the campaign runner needs — a stable
+checkpoint key, a :class:`~repro.core.config.MechanismConfig` kwargs
+dict and a partial :class:`~repro.uarch.cpu.CPUConfig` dict — plus the
+modeled hardware cost used as the Pareto axis.
+
+Specs are plain JSON (axis name → list of values), so a sweep is a
+reviewable artifact: the engine persists the expanded spec next to its
+checkpoint and refuses to resume an output directory whose spec
+changed.
+
+Cross-product grids can contain structurally invalid combinations (an
+ABTB way count that does not divide an entry count); by default
+expansion raises on the first one, naming it, and ``skip_invalid: true``
+drops them instead — useful for deliberately ragged grids.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields as dataclass_fields
+from pathlib import Path
+
+from repro.core.config import MechanismConfig
+from repro.errors import ConfigError
+from repro.experiments.hwcost import mechanism_storage_bytes
+from repro.experiments.runner import CampaignPoint
+from repro.experiments.scale import Scale
+from repro.uarch.cpu import CPUConfig
+from repro.workloads import ALL_WORKLOADS
+
+#: Axes that expand combinatorially, in key order.  ``workload`` is the
+#: outermost axis; the rest parameterize the machine.
+AXES = (
+    "workload",
+    "abtb_entries",
+    "abtb_ways",
+    "abtb_policy",
+    "bloom_bits",
+    "bloom_hashes",
+    "btb_entries",
+    "btb_ways",
+    "gshare_entries",
+)
+
+#: Axes that land in the MechanismConfig of each point.
+_MECH_AXES = ("abtb_entries", "abtb_ways", "abtb_policy", "bloom_bits", "bloom_hashes")
+
+#: Axes that land in the (partial) CPUConfig dict of each point.
+_CPU_AXES = ("btb_entries", "btb_ways", "gshare_entries")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One expanded grid point, ready to run as a campaign task."""
+
+    key: str
+    workload: str
+    axes: dict
+    mechanism: dict
+    cpu: dict
+    cost_bytes: int
+
+    def to_campaign_point(self) -> CampaignPoint:
+        return CampaignPoint(
+            key=self.key,
+            workload=self.workload,
+            abtb_entries=int(self.mechanism["abtb_entries"]),
+            mechanism=dict(self.mechanism),
+            cpu=dict(self.cpu),
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative experiment matrix.
+
+    Every ``*_entries``/``*_ways``/``*_bits`` field is an axis: a tuple
+    of values whose cross product (together with ``workloads``) is the
+    sweep.  ``warmup``/``measured`` set the per-workload window lengths
+    (identical across workloads — the sweep compares configurations, not
+    workload scales), and every point of one workload shares a single
+    generated trace bundle by construction of the trace-store key.
+    """
+
+    name: str = "sweep"
+    workloads: tuple = ("memcached",)
+    warmup: int = 10
+    measured: int = 50
+    abtb_entries: tuple = (256,)
+    abtb_ways: tuple = (0,)
+    abtb_policy: tuple = ("lru",)
+    bloom_bits: tuple = (1 << 17,)
+    bloom_hashes: tuple = (4,)
+    use_bloom: bool = True
+    btb_entries: tuple = (2048,)
+    btb_ways: tuple = (4,)
+    gshare_entries: tuple = (4096,)
+    #: Drop structurally invalid axis combinations instead of raising.
+    skip_invalid: bool = False
+
+    def __post_init__(self) -> None:
+        for axis in ("workloads",) + AXES[1:]:
+            values = getattr(self, axis)
+            if isinstance(values, (list, tuple)):
+                object.__setattr__(self, axis, tuple(values))
+            else:
+                raise ConfigError(
+                    f"sweep axis {axis!r} must be a list of values, got "
+                    f"{type(values).__name__}"
+                )
+            if not getattr(self, axis):
+                raise ConfigError(f"sweep axis {axis!r} is empty")
+            if len(set(getattr(self, axis))) != len(getattr(self, axis)):
+                raise ConfigError(f"sweep axis {axis!r} has duplicate values")
+        for workload in self.workloads:
+            if workload not in ALL_WORKLOADS:
+                raise ConfigError(f"unknown workload {workload!r} in sweep spec")
+        if self.warmup < 0:
+            raise ConfigError(f"warmup must be >= 0, got {self.warmup}")
+        if self.measured < 1:
+            raise ConfigError(f"measured must be >= 1, got {self.measured}")
+        if not self.name or "/" in self.name:
+            raise ConfigError(f"sweep name must be a non-empty slug, got {self.name!r}")
+
+    # ------------------------------------------------------------ plumbing
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepSpec":
+        """Build a spec from parsed JSON; unknown keys are errors."""
+        if not isinstance(data, dict):
+            raise ConfigError(f"sweep spec must be an object, got {type(data).__name__}")
+        known = {f.name for f in dataclass_fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(f"unknown sweep spec field(s): {sorted(unknown)}")
+        return cls(**data)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SweepSpec":
+        """Parse a spec from a JSON file."""
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except OSError as exc:
+            raise ConfigError(f"cannot read sweep spec {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"sweep spec {path} is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict; round-trips through :meth:`from_dict`."""
+        out = {}
+        for f in dataclass_fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+    def scale(self) -> Scale:
+        """The campaign scale driving every point's windows."""
+        return Scale(
+            f"sweep-{self.name}",
+            {w: (self.warmup, self.measured) for w in self.workloads},
+        )
+
+    def axis_values(self) -> dict:
+        """Axis name → tuple of declared values (workload included)."""
+        values = {"workload": self.workloads}
+        for axis in AXES[1:]:
+            values[axis] = getattr(self, axis)
+        return values
+
+    def size(self) -> int:
+        """Grid cardinality before invalid-combination filtering."""
+        n = 1
+        for values in self.axis_values().values():
+            n *= len(values)
+        return n
+
+    # ----------------------------------------------------------- expansion
+
+    def expand(self) -> list:
+        """The full cross product as :class:`SweepPoint` rows.
+
+        Deterministic order: axes iterate in declaration order, workload
+        outermost.  Raises :class:`ConfigError` on a structurally
+        invalid combination unless ``skip_invalid`` is set, in which
+        case the combination is silently dropped (the engine reports the
+        dropped count).
+        """
+        points = []
+        seen = set()
+        for workload in self.workloads:
+            for entries in self.abtb_entries:
+                for ways in self.abtb_ways:
+                    for abtb_policy in self.abtb_policy:
+                        for bits in self.bloom_bits:
+                            for hashes in self.bloom_hashes:
+                                for btb_e in self.btb_entries:
+                                    for btb_w in self.btb_ways:
+                                        for gshare in self.gshare_entries:
+                                            point = self._point(
+                                                workload, entries, ways,
+                                                abtb_policy, bits, hashes,
+                                                btb_e, btb_w, gshare,
+                                            )
+                                            if point is None:
+                                                continue
+                                            points.append(point)
+                                            seen.add(point.key)
+        if len(seen) != len(points):
+            raise ConfigError("sweep expansion produced duplicate point keys")
+        return points
+
+    def _point(
+        self, workload, entries, ways, abtb_policy, bits, hashes,
+        btb_entries, btb_ways, gshare,
+    ):
+        mechanism = {
+            "abtb_entries": int(entries),
+            "abtb_ways": int(ways),
+            "abtb_policy": str(abtb_policy),
+            "bloom_bits": int(bits),
+            "bloom_hashes": int(hashes),
+            "use_bloom": bool(self.use_bloom),
+        }
+        cpu = {
+            "btb_entries": int(btb_entries),
+            "btb_ways": int(btb_ways),
+            "gshare_entries": int(gshare),
+        }
+        try:
+            MechanismConfig(**mechanism)
+            CPUConfig.from_dict(cpu)
+        except (ConfigError, ValueError) as exc:
+            if self.skip_invalid:
+                return None
+            raise ConfigError(
+                f"invalid sweep point ({workload}, abtb={entries}/"
+                f"{ways or 'full'}/{abtb_policy}, bloom={bits}x{hashes}, "
+                f"btb={btb_entries}x{btb_ways}, gshare={gshare}): {exc}"
+            ) from exc
+        key = point_key(
+            workload, entries, ways, abtb_policy, bits, hashes,
+            btb_entries, btb_ways, gshare,
+        )
+        axes = {
+            "workload": workload,
+            "abtb_entries": int(entries),
+            "abtb_ways": int(ways),
+            "abtb_policy": str(abtb_policy),
+            "bloom_bits": int(bits),
+            "bloom_hashes": int(hashes),
+            "btb_entries": int(btb_entries),
+            "btb_ways": int(btb_ways),
+            "gshare_entries": int(gshare),
+        }
+        return SweepPoint(
+            key=key,
+            workload=workload,
+            axes=axes,
+            mechanism=mechanism,
+            cpu=cpu,
+            cost_bytes=mechanism_storage_bytes(
+                int(entries), bloom_bits=int(bits), use_bloom=self.use_bloom
+            ),
+        )
+
+
+def point_key(
+    workload, entries, ways, abtb_policy, bits, hashes,
+    btb_entries, btb_ways, gshare,
+) -> str:
+    """Stable, human-readable checkpoint key for one grid point."""
+    assoc = str(ways) if ways else "full"
+    return (
+        f"{workload}::abtb={entries}/{assoc}/{abtb_policy}"
+        f"::bloom={bits}x{hashes}"
+        f"::btb={btb_entries}x{btb_ways}::gshare={gshare}"
+    )

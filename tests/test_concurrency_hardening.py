@@ -1,0 +1,263 @@
+"""Concurrency hardening: trace-store commit discipline, capped/jittered
+backoff, and attempt-gated callbacks.
+
+Three failure modes this file pins down:
+
+* ``TraceStore.save`` rewriting a committed entry under a concurrent
+  reader (the reader passed ``has()``, then loaded a half-swapped mix of
+  old and new segment files);
+* uncapped, jitterless exponential backoff (multi-minute sleeps, and N
+  shards failing together retrying in lockstep);
+* a timed-out attempt's abandoned thread still invoking progress and
+  incident-recorder callbacks, double-counting into the retry's results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.errors import ConfigError, ExperimentError
+from repro.experiments.runner import (
+    AttemptGate,
+    RetryPolicy,
+    _run_one_pair,
+)
+from repro.experiments.scale import SMOKE
+from repro.trace.engine import LinkMode
+from repro.resilience import IncidentRecorder
+from repro.trace.store import TraceStore, generate_bundle, trace_key
+from repro.workloads import ALL_WORKLOADS, Workload
+
+SEED = 1234
+
+
+def _bundle(warmup: int = 1, measured: int = 2):
+    wl = Workload(ALL_WORKLOADS["memcached"].config(seed=SEED), LinkMode.DYNAMIC)
+    bundle = generate_bundle(wl, warmup, measured)
+    key = trace_key(wl.config, LinkMode.DYNAMIC, warmup, measured)
+    return key, bundle
+
+
+# --------------------------------------------------------------------------
+# TraceStore: committed entries are immutable; concurrent fill is safe.
+# --------------------------------------------------------------------------
+
+
+class TestTraceStoreCommitDiscipline:
+    def test_save_skips_committed_entry(self, tmp_path):
+        key, bundle = _bundle()
+        store = TraceStore(tmp_path)
+        entry = store.save(key, bundle)
+        stamps = {
+            name: os.stat(entry / name).st_mtime_ns
+            for name in os.listdir(entry)
+        }
+        assert store.save(key, bundle) == entry
+        after = {
+            name: os.stat(entry / name).st_mtime_ns
+            for name in os.listdir(entry)
+        }
+        assert after == stamps  # no file was rewritten
+
+    def test_save_completes_partial_entry(self, tmp_path):
+        # A crash mid-save leaves segments without the commit marker; the
+        # next writer must finish the entry, not skip it.
+        key, bundle = _bundle()
+        store = TraceStore(tmp_path)
+        entry = store.save(key, bundle)
+        (entry / "meta.json").unlink()
+        assert store.load(key) is None
+        store.save(key, bundle)
+        loaded = store.load(key)
+        assert loaded is not None
+        assert loaded.total_events == bundle.total_events
+
+    def test_load_counters(self, tmp_path):
+        key, bundle = _bundle()
+        store = TraceStore(tmp_path)
+        assert store.load(key) is None
+        store.save(key, bundle)
+        assert store.load(key) is not None
+        stats = store.cache_stats()
+        assert stats == {"hits": 1, "misses": 1, "hit_rate": 0.5}
+
+
+def _hammer_store(root: str, key: str, expected_events: int, rounds: int):
+    """Worker: race save/load on one key; every load must be all-or-nothing."""
+    wl = Workload(ALL_WORKLOADS["memcached"].config(seed=SEED), LinkMode.DYNAMIC)
+    bundle = generate_bundle(wl, 1, 2)
+    store = TraceStore(root)
+    for _ in range(rounds):
+        loaded = store.load(key)
+        if loaded is not None and loaded.total_events != expected_events:
+            return f"partial bundle observed: {loaded.total_events} events"
+        store.save(key, bundle)
+        loaded = store.load(key)
+        if loaded is None:
+            return "load missed after own save committed"
+        if loaded.total_events != expected_events:
+            return f"partial bundle after save: {loaded.total_events} events"
+    return "ok"
+
+
+class TestTraceStoreConcurrency:
+    def test_simultaneous_save_load_one_key(self, tmp_path):
+        """N processes hammer one key: loads are complete bundles or misses."""
+        key, bundle = _bundle()
+        expected = bundle.total_events
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(4) as pool:
+            verdicts = pool.starmap(
+                _hammer_store,
+                [(str(tmp_path), key, expected, 6) for _ in range(4)],
+            )
+        assert verdicts == ["ok"] * 4
+        # The survivors agree on one committed, readable entry.
+        final = TraceStore(tmp_path).load(key)
+        assert final is not None
+        assert final.total_events == expected
+
+
+# --------------------------------------------------------------------------
+# RetryPolicy: capped exponential backoff with deterministic jitter.
+# --------------------------------------------------------------------------
+
+
+class TestBackoff:
+    def test_cap_bounds_the_exponential_curve(self):
+        policy = RetryPolicy(backoff_base_s=1.0, backoff_factor=10.0, backoff_max_s=5.0)
+        assert policy.backoff(1) == 1.0
+        assert policy.backoff(2) == 5.0  # 10s uncapped
+        assert policy.backoff(8) == 5.0  # would be 10**7 s uncapped
+
+    def test_defaults_keep_historical_schedule(self):
+        policy = RetryPolicy()
+        assert [policy.backoff(n) for n in (1, 2, 3)] == [0.25, 0.5, 1.0]
+
+    def test_jitter_is_deterministic_per_key(self):
+        policy = RetryPolicy(backoff_base_s=1.0, backoff_max_s=1.0, jitter=0.5)
+        first = policy.backoff(1, key="memcached::abtb=256")
+        assert first == policy.backoff(1, key="memcached::abtb=256")
+        assert 0.5 <= first <= 1.0  # cap stays a hard upper bound
+
+    def test_jitter_desynchronises_distinct_keys(self):
+        policy = RetryPolicy(backoff_base_s=1.0, backoff_max_s=1.0, jitter=0.5)
+        delays = {policy.backoff(1, key=f"shard-{i}") for i in range(8)}
+        assert len(delays) > 1
+
+    def test_zero_jitter_ignores_key(self):
+        policy = RetryPolicy()
+        assert policy.backoff(2, key="a") == policy.backoff(2, key="b") == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ConfigError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff_max_s=-1.0)
+
+    def test_retry_sleeps_are_jittered_and_keyed(self):
+        sleeps = []
+        calls = {"n": 0}
+
+        def run_fn(workload, scale, abtb):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ExperimentError("transient")
+            return None, None
+
+        policy = RetryPolicy(max_retries=3, backoff_base_s=1.0,
+                             backoff_max_s=1.0, jitter=0.5)
+        # Bypassing summarize by failing is simpler: make the final
+        # attempt fail too and check the recorded sleeps alone.
+        calls["n"] = -10**9  # never succeeds
+        outcome = _run_one_pair(
+            "k1", "memcached", SMOKE, 16, policy, run_fn, sleeps.append
+        )
+        assert outcome["failed"]
+        assert sleeps == [policy.backoff(n, key="k1") for n in (1, 2, 3)]
+        assert all(0.5 <= s <= 1.0 for s in sleeps)
+
+
+# --------------------------------------------------------------------------
+# AttemptGate: abandoned attempts stop reporting.
+# --------------------------------------------------------------------------
+
+
+class TestAttemptGate:
+    def test_wrap_gates_callback(self):
+        gate = AttemptGate()
+        hits = []
+        gated = gate.wrap(hits.append)
+        gated(1)
+        gate.expire()
+        gated(2)
+        assert hits == [1]
+        assert gate.wrap(None) is None
+
+    def test_recorder_proxy_gates_record_and_delegates_rest(self):
+        gate = AttemptGate()
+        recorder = IncidentRecorder()
+        proxy = gate.recorder(recorder)
+        proxy.record("watchdog_divergence", "before expire", severity="warning")
+        gate.expire()
+        proxy.record("watchdog_divergence", "after expire", severity="warning")
+        assert len(recorder) == 1
+        # Non-record attributes pass through to the wrapped recorder.
+        assert proxy.counts() == recorder.counts()
+        assert gate.recorder(None) is None
+
+    def test_abandoned_attempt_callbacks_are_dropped(self):
+        """The exact double-count scenario: attempt 1 times out, its thread
+        keeps calling progress after the retry started — silently."""
+        progress = []
+        gates = []
+
+        def run_fn(workload, scale, abtb, gate=None):
+            gates.append(gate)
+            report = gate.wrap(progress.append)
+            report(f"attempt-{len(gates)}")
+            if len(gates) == 1:
+                raise ExperimentError("timed out")
+            return report  # hand the live callback back for inspection
+
+        policy = RetryPolicy(max_retries=1)
+        # _run_one_pair unpacks the return as (base, enhanced): make the
+        # second attempt return a 2-tuple carrying the callback.
+        def run_fn2(workload, scale, abtb, gate=None):
+            result = run_fn(workload, scale, abtb, gate=gate)
+            return (result, result) if result is not None else None
+
+        with pytest.raises(Exception):
+            # summarize_pair will choke on our fake pair; that's fine —
+            # the gate bookkeeping we assert on happened before it.
+            _run_one_pair(
+                "k", "memcached", SMOKE, 16, policy, run_fn2, lambda _s: None
+            )
+        assert len(gates) == 2
+        first, second = gates
+        assert not first.live and second.live
+        # The zombie thread from attempt 1 fires its stale callback now:
+        stale = first.wrap(progress.append)
+        stale("zombie")
+        assert progress == ["attempt-1", "attempt-2"]  # zombie dropped
+
+    def test_each_attempt_gets_a_fresh_gate(self):
+        gates = []
+
+        def run_fn(workload, scale, abtb, gate=None):
+            gates.append(gate)
+            raise ExperimentError("always")
+
+        outcome = _run_one_pair(
+            "k", "memcached", SMOKE, 16,
+            RetryPolicy(max_retries=2), run_fn, lambda _s: None,
+        )
+        assert outcome["failed"]
+        assert len(gates) == 3
+        assert len(set(map(id, gates))) == 3
+        assert all(not g.live for g in gates)  # all expired on failure
