@@ -30,6 +30,13 @@ from repro.chaos.faults import (
     default_faults,
 )
 from repro.chaos.injector import SAFE_HEADS, InjectionRecord, Injector
+from repro.chaos.net import (
+    PARTITION_DIRECTIONS,
+    FaultyTransport,
+    InjectedNetworkError,
+    NetFaultInjector,
+    NetFaultPolicy,
+)
 from repro.chaos.oracle import RESET, CorrectnessOracle, SkipRecord
 
 __all__ = [
@@ -46,11 +53,16 @@ __all__ = [
     "corrupted_stream",
     "default_faults",
     "Fault",
+    "FaultyTransport",
     "GotRewriteFault",
     "IfuncReselectFault",
+    "InjectedNetworkError",
     "InjectionRecord",
     "Injector",
     "LossyCoherence",
+    "NetFaultInjector",
+    "NetFaultPolicy",
+    "PARTITION_DIRECTIONS",
     "RESET",
     "run_campaign",
     "run_chaos",

@@ -1,0 +1,225 @@
+"""Deterministic network fault injection for the campaign service.
+
+The service's resilience story (lease expiry, idempotent completion,
+fencing epochs, worker failover) is only credible if it survives a
+hostile network — so this module makes the network hostile *on purpose*,
+and deterministically: every fault decision is a pure function of
+``(seed, exchange counter, fault kind)`` via SHA-256, so a drill that
+found a bug replays bit-for-bit from its seed.
+
+The injector sits between a client and the real HTTP transport as a
+:class:`FaultyTransport` (pluggable into
+:class:`repro.service.worker.ManagerClient` and the standby's
+replication puller).  Fault catalogue, per exchange:
+
+* **drop** — the request never arrives (connection error before send);
+* **delay** — the request is held for ``delay_s`` before sending;
+* **duplicate** — a POST is delivered *twice* (at-least-once delivery:
+  the second response is returned, as after a lost ack + retry);
+* **truncate** — the response body is cut in half (the client must treat
+  an undecodable body as a transport failure, never as an answer);
+* **mangle** — the response is replaced by a synthetic HTTP 502 (a
+  mid-path proxy failure; deliberately *not* 503, which the service uses
+  for genuine graceful shutdown and must stay un-retried).
+
+**Partitions** are modelled per endpoint with a direction, so drills can
+cut worker↔leader or leader↔standby links asymmetrically:
+``request`` (nothing reaches the far side), ``response`` (the far side
+*does* apply the write but the answer is lost — the nastier half), or
+``both``.  Partitions are dynamic: :meth:`NetFaultInjector.partition` /
+:meth:`NetFaultInjector.heal` flip them mid-drill.
+
+Every injected fault is recorded as a ``net_fault`` incident when a
+recorder is attached, so a drill's incident log accounts for every
+disruption it suffered.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.resilience.incidents import IncidentKind
+
+#: Partition directions (which half of the exchange is cut).
+PARTITION_DIRECTIONS = ("request", "response", "both")
+
+
+class InjectedNetworkError(ConnectionError):
+    """A connection-level failure manufactured by the injector.
+
+    Subclasses ``ConnectionError`` so clients retry it exactly like a
+    real dead socket — the whole point is that they cannot tell.
+    """
+
+
+def _frac(seed: int, counter: int, kind: str) -> float:
+    """Deterministic uniform [0, 1) decision for one (exchange, fault)."""
+    digest = hashlib.sha256(f"{seed}:{counter}:{kind}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass
+class NetFaultPolicy:
+    """Per-exchange fault probabilities (all default off).
+
+    ``seed`` makes every decision deterministic; two injectors with the
+    same seed fire the same faults at the same exchanges.
+    """
+
+    seed: int = 0
+    drop: float = 0.0
+    delay: float = 0.0
+    delay_s: float = 0.02
+    duplicate: float = 0.0
+    truncate: float = 0.0
+    mangle: float = 0.0
+
+
+@dataclass
+class _Partition:
+    url: str
+    direction: str = "both"
+
+
+@dataclass
+class NetFaultInjector:
+    """Stateful fault engine shared by any number of transports.
+
+    Thread-safe: worker heartbeat threads, the main worker loop and a
+    standby's replication puller may all route through one injector, and
+    the exchange counter (the determinism anchor) must tick atomically.
+    """
+
+    policy: NetFaultPolicy = field(default_factory=NetFaultPolicy)
+    recorder: object | None = None
+    sleep_fn: object = time.sleep
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counter = 0
+        self._partitions: dict[str, _Partition] = {}
+        #: Injected-fault tally per kind (drills assert against this).
+        self.counts: dict[str, int] = {}
+
+    # ---------------------------------------------------------- partitions
+
+    def partition(self, url: str, direction: str = "both") -> None:
+        """Cut the link to ``url`` (a client-side base URL) in
+        ``direction`` until :meth:`heal`."""
+        if direction not in PARTITION_DIRECTIONS:
+            raise ValueError(
+                f"direction {direction!r} not in {PARTITION_DIRECTIONS}"
+            )
+        with self._lock:
+            self._partitions[url.rstrip("/")] = _Partition(
+                url=url.rstrip("/"), direction=direction
+            )
+
+    def heal(self, url: str | None = None) -> None:
+        """Restore the link to ``url`` (None: heal every partition)."""
+        with self._lock:
+            if url is None:
+                self._partitions.clear()
+            else:
+                self._partitions.pop(url.rstrip("/"), None)
+
+    def _partition_for(self, url: str) -> _Partition | None:
+        with self._lock:
+            for base, part in self._partitions.items():
+                if url.startswith(base):
+                    return part
+        return None
+
+    # ------------------------------------------------------------ exchange
+
+    def exchange(self, inner, url: str, method: str, data, timeout_s: float):
+        """Run one HTTP exchange through the fault engine.
+
+        ``inner`` is the real transport: ``inner(url, method, data,
+        timeout_s) -> (status, raw_bytes)``.  Raises
+        :class:`InjectedNetworkError` for dropped/partitioned exchanges.
+        """
+        with self._lock:
+            self._counter += 1
+            n = self._counter
+        policy = self.policy
+
+        part = self._partition_for(url)
+        if part is not None and part.direction in ("request", "both"):
+            self._record("partition", url, direction=part.direction)
+            raise InjectedNetworkError(f"injected partition (request) to {url}")
+
+        if policy.drop and _frac(policy.seed, n, "drop") < policy.drop:
+            self._record("drop", url)
+            raise InjectedNetworkError(f"injected drop to {url}")
+
+        if policy.delay and _frac(policy.seed, n, "delay") < policy.delay:
+            self._record("delay", url, delay_s=policy.delay_s)
+            self.sleep_fn(policy.delay_s)
+
+        duplicated = (
+            method == "POST"
+            and policy.duplicate
+            and _frac(policy.seed, n, "duplicate") < policy.duplicate
+        )
+        status, raw = inner(url, method, data, timeout_s)
+        if duplicated:
+            # At-least-once delivery: the first response is "lost", the
+            # request is re-sent, the second response is what the client
+            # sees — every POST endpoint must make this a no-op.
+            self._record("duplicate", url)
+            status, raw = inner(url, method, data, timeout_s)
+
+        if part is not None and part.direction == "response":
+            # The far side applied the write; only the answer is cut.
+            self._record("partition", url, direction=part.direction)
+            raise InjectedNetworkError(f"injected partition (response) from {url}")
+
+        if policy.mangle and _frac(policy.seed, n, "mangle") < policy.mangle:
+            self._record("mangle", url)
+            return 502, b'{"error": "injected 502 (mid-path proxy failure)"}'
+
+        if policy.truncate and _frac(policy.seed, n, "truncate") < policy.truncate:
+            self._record("truncate", url)
+            return status, raw[: max(1, len(raw) // 2)]
+
+        return status, raw
+
+    def _record(self, fault: str, url: str, **context) -> None:
+        with self._lock:
+            self.counts[fault] = self.counts.get(fault, 0) + 1
+        if self.recorder is not None:
+            self.recorder.record(
+                IncidentKind.NET_FAULT,
+                f"injected network fault: {fault} on {url}",
+                severity="info",
+                fault=fault,
+                url=url,
+                **context,
+            )
+
+    def total(self) -> int:
+        with self._lock:
+            return sum(self.counts.values())
+
+
+class FaultyTransport:
+    """A drop-in transport for :class:`~repro.service.worker.ManagerClient`
+    that routes every exchange through a :class:`NetFaultInjector`.
+
+    Several clients (workers, standby puller) can share one injector —
+    they then share the deterministic exchange counter and the partition
+    table, which is exactly what a fleet drill wants.
+    """
+
+    def __init__(self, injector: NetFaultInjector, inner=None) -> None:
+        if inner is None:
+            from repro.service.worker import http_exchange as inner  # noqa: PLC0415
+        self.injector = injector
+        self.inner = inner
+
+    def __call__(self, url: str, method: str, data, timeout_s: float):
+        return self.injector.exchange(self.inner, url, method, data, timeout_s)

@@ -38,9 +38,20 @@ Subcommands:
   API, lease-based shard queue, write-ahead journal, content-addressed
   result store), ``worker`` pulls and executes shard leases against a
   manager, and ``submit`` submits a campaign and waits, with the same
-  0/3/1 exit-code convention as ``campaign``.  SIGTERM is graceful
-  everywhere: the manager snapshots its journal, workers drain the
-  shard in hand, ``campaign`` flushes its checkpoint and exits 130.
+  0/3/1 exit-code convention as ``campaign``.  ``serve --follow URL``
+  runs a *standby* manager instead: it tails the leader's journal over
+  the replication endpoints and promotes itself (bumped fencing epoch)
+  when the leader is lost.  ``worker --manager`` accepts several URLs —
+  an ordered failover list.  SIGTERM is graceful everywhere: the manager
+  snapshots its journal, workers drain the shard in hand, ``campaign``
+  flushes its checkpoint and exits 130;
+* ``drill`` — the fleet-level HA chaos drill (see
+  ``docs/SERVICE.md``): leader kill, standby promotion, network fault
+  injection and partition windows over a live campaign, asserting the
+  result counter-identical to a serial run (exit 0/3/1);
+* ``service gc`` — campaign-aware result-store retention: evict stored
+  shard results by age/count, never touching one referenced by a live
+  campaign.
 
 ``compare`` and ``campaign`` accept ``--backend {reference,batched}`` to
 pick the simulation engine; the batched backend is the vectorized hot
@@ -305,6 +316,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.resilience import IncidentRecorder, SupervisorPolicy
     from repro.service.api import ManagerServer
     from repro.service.manager import CampaignManager
+    from repro.service.standby import StandbyManager
 
     _install_sigterm_handler()
     recorder = IncidentRecorder()
@@ -312,20 +324,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shard_deadline_s=args.lease_ttl,
         max_shard_failures=args.max_shard_failures,
     )
-    manager = CampaignManager(
-        args.data_dir,
-        policy=policy,
-        recorder=recorder,
-        snapshot_every=args.snapshot_every,
-    )
-    server = ManagerServer(
-        manager, host=args.host, port=args.port, verbose=args.verbose
-    )
+    try:
+        if args.follow:
+            standby = StandbyManager(
+                args.data_dir,
+                leader_url=args.follow,
+                policy=policy,
+                recorder=recorder,
+                poll_interval_s=args.follow_poll,
+                misses_to_promote=args.misses_to_promote,
+                snapshot_every=args.snapshot_every,
+            )
+            print(
+                f"serve: standby following {args.follow} "
+                f"(data: {args.data_dir}; promotes after "
+                f"{args.misses_to_promote} missed pull(s))",
+                flush=True,
+            )
+            manager = standby.run()
+            if manager is None:  # stopped before the leader was lost
+                return 0
+            print(
+                f"serve: PROMOTED to leader at epoch {manager.epoch} "
+                f"({len(manager.campaigns)} campaign(s) recovered)",
+                flush=True,
+            )
+        else:
+            manager = CampaignManager(
+                args.data_dir,
+                policy=policy,
+                recorder=recorder,
+                snapshot_every=args.snapshot_every,
+            )
+        server = ManagerServer(
+            manager, host=args.host, port=args.port, verbose=args.verbose
+        )
+    except KeyboardInterrupt:
+        print("serve: shutting down gracefully", file=sys.stderr)
+        return 0
     try:
         server.start()
         print(
             f"serve: manager listening on {server.url} "
-            f"(data: {args.data_dir}, lease TTL {args.lease_ttl:.1f}s)",
+            f"(data: {args.data_dir}, lease TTL {args.lease_ttl:.1f}s, "
+            f"epoch {manager.epoch})",
             flush=True,
         )
         server.serve_wait()
@@ -378,6 +420,86 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         f"{stats['shards_failed']} failed, {stats['leases_lost']} lease(s) lost"
         + (" (manager went away; drained)" if stats.get("manager_lost") else "")
     )
+    return 0
+
+
+def _cmd_drill(args: argparse.Namespace) -> int:
+    from repro.chaos.net import NetFaultPolicy
+    from repro.service.drill import DrillSpec, run_drill
+
+    _install_sigterm_handler()
+    net = None
+    if args.net_off:
+        net = NetFaultPolicy(seed=args.seed)  # all probabilities zero
+    spec = DrillSpec(
+        workloads=tuple(args.workloads),
+        abtb_sizes=tuple(args.abtb),
+        scale=args.scale,
+        backend=args.backend,
+        seed=args.seed,
+        workers=args.workers,
+        vanish_worker_lease=0 if args.no_vanish else 1,
+        partition_window_s=args.partition_window,
+        net=net,
+        shard_deadline_s=args.lease_ttl,
+        deadline_s=args.deadline,
+    )
+    try:
+        report = run_drill(
+            spec,
+            args.root,
+            log=(lambda line: print(f"drill: {line}", flush=True))
+            if args.verbose
+            else (lambda line: None),
+        )
+    except KeyboardInterrupt:
+        print("drill: interrupted", file=sys.stderr)
+        return 130
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    if args.report_out:
+        with open(args.report_out, "w") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+        print(f"drill: wrote report {args.report_out}", file=sys.stderr)
+    return report.exit_code
+
+
+def _cmd_service_gc(args: argparse.Namespace) -> int:
+    from repro.errors import ServiceError
+    from repro.resilience import IncidentRecorder
+    from repro.service.gc import ResultGcPolicy, collect_garbage
+
+    try:
+        policy = ResultGcPolicy(
+            max_age_s=args.max_age_s,
+            max_count=args.max_count,
+            dry_run=args.dry_run,
+        )
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    recorder = IncidentRecorder()
+    report = collect_garbage(args.data_dir, policy, recorder=recorder)
+    verb = "would evict" if report.dry_run else "evicted"
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"gc: {report.examined} result(s) examined, "
+            f"{report.protected} protected by live campaigns, "
+            f"{verb} {len(report.evicted)} "
+            f"({report.reclaimed_bytes} byte(s))"
+        )
+        for key in report.evicted:
+            print(f"  {verb} {key}")
+    if args.incidents_out:
+        recorder.write_jsonl(args.incidents_out)
+        print(
+            f"incidents: wrote {args.incidents_out} ({len(recorder)} record(s))",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -904,6 +1026,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
+    serve.add_argument(
+        "--follow", default=None, metavar="URL",
+        help="run as a standby: tail URL's journal via the replication "
+        "endpoints, then promote (bumped fencing epoch) and serve on "
+        "--port when the leader is lost",
+    )
+    serve.add_argument(
+        "--follow-poll", type=float, default=0.5, metavar="SECONDS",
+        help="replication pull interval in standby mode [default: 0.5]",
+    )
+    serve.add_argument(
+        "--misses-to-promote", type=int, default=6, metavar="N",
+        help="consecutive failed replication pulls before the standby "
+        "promotes itself [default: 6]",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     worker = sub.add_parser(
@@ -912,8 +1049,9 @@ def build_parser() -> argparse.ArgumentParser:
         "manager, execute, heartbeat, report (SIGTERM drains gracefully)",
     )
     worker.add_argument(
-        "--manager", default="http://127.0.0.1:8023", metavar="URL",
-        help="manager base URL [default: http://127.0.0.1:8023]",
+        "--manager", nargs="+", default=["http://127.0.0.1:8023"], metavar="URL",
+        help="manager base URL(s); several form an ordered failover list "
+        "(leader first, standby after) [default: http://127.0.0.1:8023]",
     )
     worker.add_argument("--name", default="", help="worker name (diagnostics)")
     worker.add_argument(
@@ -950,8 +1088,9 @@ def build_parser() -> argparse.ArgumentParser:
         "exit 0 complete / 3 degraded / 1 failed",
     )
     submit.add_argument(
-        "--manager", default="http://127.0.0.1:8023", metavar="URL",
-        help="manager base URL [default: http://127.0.0.1:8023]",
+        "--manager", nargs="+", default=["http://127.0.0.1:8023"], metavar="URL",
+        help="manager base URL(s); several form an ordered failover list "
+        "(leader first, standby after) [default: http://127.0.0.1:8023]",
     )
     submit.add_argument(
         "--workloads", nargs="+", choices=sorted(ALL_WORKLOADS),
@@ -994,6 +1133,97 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 unless at least one incident of KIND is present (repeatable)",
     )
     incidents.set_defaults(func=_cmd_incidents)
+
+    drill = sub.add_parser(
+        "drill",
+        help="fleet-level HA chaos drill: leader kill + standby promotion "
+        "+ network faults over a live campaign, asserting the result "
+        "counter-identical to a serial run (exit 0/3/1)",
+    )
+    drill.add_argument(
+        "--root", required=True, metavar="DIR",
+        help="drill working directory (leader/standby state, caches, "
+        "incidents.jsonl)",
+    )
+    drill.add_argument(
+        "--workloads", nargs="+", choices=sorted(ALL_WORKLOADS),
+        default=["apache"],
+    )
+    drill.add_argument("--abtb", type=int, nargs="+", default=[16, 64, 256])
+    drill.add_argument("--scale", choices=("smoke", "paper"), default="smoke")
+    drill.add_argument(
+        "--backend", choices=("reference", "batched"), default="reference"
+    )
+    drill.add_argument(
+        "--seed", type=int, default=1337,
+        help="fault-injector seed (the drill replays bit-for-bit) [default: 1337]",
+    )
+    drill.add_argument(
+        "--workers", type=int, default=3, help="fleet size [default: 3]"
+    )
+    drill.add_argument(
+        "--lease-ttl", type=float, default=6.0, metavar="SECONDS",
+        help="shard lease deadline during the drill [default: 6]",
+    )
+    drill.add_argument(
+        "--partition-window", type=float, default=0.4, metavar="SECONDS",
+        help="post-promotion worker→leader partition length (0 = off) "
+        "[default: 0.4]",
+    )
+    drill.add_argument(
+        "--deadline", type=float, default=180.0, metavar="SECONDS",
+        help="abort the drill after this long [default: 180]",
+    )
+    drill.add_argument(
+        "--no-vanish", action="store_true",
+        help="keep all workers alive (skip the in-process SIGKILL)",
+    )
+    drill.add_argument(
+        "--net-off", action="store_true",
+        help="disable probabilistic network faults (partitions still run)",
+    )
+    drill.add_argument(
+        "--report-out", default=None, metavar="PATH",
+        help="also write the full drill report as JSON",
+    )
+    drill.add_argument("--json", action="store_true", help="JSON report on stdout")
+    drill.add_argument(
+        "--verbose", action="store_true", help="print the drill timeline live"
+    )
+    drill.set_defaults(func=_cmd_drill)
+
+    service = sub.add_parser(
+        "service", help="campaign-service maintenance (result-store gc)"
+    )
+    service_sub = service.add_subparsers(dest="action", required=True)
+    service_gc = service_sub.add_parser(
+        "gc",
+        help="evict stored shard results by age/count; results referenced "
+        "by live campaigns are never touched",
+    )
+    service_gc.add_argument(
+        "--data-dir", required=True, metavar="DIR",
+        help="service state root (journal + results), as given to 'serve'",
+    )
+    service_gc.add_argument(
+        "--max-age-s", type=float, default=None, metavar="SECONDS",
+        help="evict unprotected results older than this",
+    )
+    service_gc.add_argument(
+        "--max-count", type=int, default=None, metavar="N",
+        help="keep at most N unprotected results (oldest evicted first)",
+    )
+    service_gc.add_argument(
+        "--dry-run", action="store_true", help="report only; delete nothing"
+    )
+    service_gc.add_argument(
+        "--incidents-out", default=None, metavar="PATH",
+        help="write result_evicted incidents as JSON lines",
+    )
+    service_gc.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    service_gc.set_defaults(func=_cmd_service_gc)
 
     dash = sub.add_parser(
         "dash",

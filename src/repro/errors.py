@@ -139,3 +139,19 @@ class SchemaError(ServiceError):
 class LeaseError(ServiceError):
     """A shard lease operation was invalid (unknown, expired or not
     owned by the requesting worker)."""
+
+
+class FencedWriteError(ServiceError):
+    """A write carried a fencing epoch that does not match the manager's.
+
+    Raised (and mapped onto HTTP 409 with ``"fenced": true``) in both
+    directions: a *stale worker* still stamping the pre-failover epoch
+    must re-register against the current leader, and a *revived stale
+    leader* receiving requests stamped with a newer epoch must refuse to
+    merge them — its journal is no longer the truth.
+    """
+
+    def __init__(self, message: str, ours: int = 0, theirs: int = 0) -> None:
+        super().__init__(message)
+        self.ours = ours
+        self.theirs = theirs

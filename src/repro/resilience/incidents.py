@@ -85,6 +85,22 @@ class IncidentKind(enum.Enum):
     #: A graceful shutdown (SIGTERM/SIGINT) flushed state mid-campaign
     #: instead of dying mid-write.
     SHUTDOWN = "shutdown"
+    #: A standby manager lost contact with its leader (health checks
+    #: exhausted); promotion follows.
+    LEADER_LOST = "leader_lost"
+    #: A standby manager promoted itself to leader under a bumped
+    #: fencing epoch.
+    PROMOTED = "promoted"
+    #: A write was rejected because its fencing epoch did not match the
+    #: manager's — either a stale worker after a failover, or a revived
+    #: stale leader refusing to merge newer-epoch writes.
+    FENCED_WRITE = "fenced_write"
+    #: The network fault injector perturbed a service request (drop,
+    #: delay, duplicate, truncation, 5xx mangle, partition).
+    NET_FAULT = "net_fault"
+    #: The result-store garbage collector evicted a stored shard result
+    #: under the retention policy.
+    RESULT_EVICTED = "result_evicted"
 
 
 _KINDS_BY_VALUE = {k.value: k for k in IncidentKind}

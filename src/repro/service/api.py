@@ -52,7 +52,7 @@ import threading
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.errors import SchemaError, ServiceError
+from repro.errors import FencedWriteError, SchemaError, ServiceError
 from repro.obs.dashboard import render_dashboard, snapshot_from_manager
 from repro.obs.events import downsample
 from repro.obs.metrics import TimeSeries
@@ -154,6 +154,20 @@ class _Handler(BaseHTTPRequestHandler):
             self._route_post()
         except SchemaError as exc:
             self._send_json(400, {"error": str(exc)})
+        except FencedWriteError as exc:
+            # 409 + "fenced": the write's epoch does not match this
+            # manager's.  The body carries our epoch so a stale *worker*
+            # can tell it must fail over and re-register, while a stale
+            # *leader* fencing a newer-epoch write simply refuses it.
+            self._send_json(
+                409,
+                {
+                    "error": str(exc),
+                    "fenced": True,
+                    "epoch": exc.ours,
+                    "request_epoch": exc.theirs,
+                },
+            )
         except ServiceError as exc:
             status = 503 if "shut down" in str(exc) else 409
             self._send_json(status, {"error": str(exc)})
@@ -167,8 +181,25 @@ class _Handler(BaseHTTPRequestHandler):
         parts, query = self._split_path()
         if parts == ["healthz"]:
             self._send_json(
-                200, {"ok": True, "campaigns": len(manager.list_campaigns())}
+                200,
+                {
+                    "ok": True,
+                    "campaigns": len(manager.list_campaigns()),
+                    "role": "leader",
+                    "epoch": manager.epoch,
+                    "seq": manager.journal.seq,
+                },
             )
+        elif parts == ["replication", "state"]:
+            since = self._int_param(query, "since", 0)
+            self._send_json(200, manager.replication_state(since))
+        elif parts == ["replication", "result"]:
+            key = query.get("key", "")
+            payload = manager.replica_result(key) if key else None
+            if payload is None:
+                self._send_json(404, {"error": f"no stored result {key!r}"})
+            else:
+                self._send_json(200, payload)
         elif parts == ["metrics"]:
             if query.get("format") == "jsonl":
                 self._send(200, manager.metrics.to_jsonl(), "application/x-ndjson")
@@ -287,23 +318,36 @@ class _Handler(BaseHTTPRequestHandler):
         self.close_connection = True
         sent = 0
         stop = self.server.stop_event
+        # Every socket write below goes through _sse_write: a half-closed
+        # client (BrokenPipe/ConnectionReset, or any OSError the kernel
+        # surfaces later) detaches this subscriber by returning from the
+        # handler — it must never propagate into the server machinery or
+        # leave the thread wedged writing into a dead socket.
         while not stop.is_set():
             events = bus.since(cursor)
             if not events:
                 if not bus.wait_for(cursor, timeout=keepalive_s):
-                    self.wfile.write(b": keep-alive\n\n")
-                    self.wfile.flush()
+                    if not self._sse_write(b": keep-alive\n\n"):
+                        return
                     continue
                 events = bus.since(cursor)
             for event in events:
                 frame = f"id: {event.seq}\ndata: {json.dumps(event.as_dict())}\n\n"
-                self.wfile.write(frame.encode())
+                if not self._sse_write(frame.encode()):
+                    return
                 cursor = event.seq
                 sent += 1
                 if limit and sent >= limit:
-                    self.wfile.flush()
                     return
+
+    def _sse_write(self, data: bytes) -> bool:
+        """Write + flush one SSE frame; False when the client is gone."""
+        try:
+            self.wfile.write(data)
             self.wfile.flush()
+        except OSError:
+            return False
+        return True
 
     def _route_post(self) -> None:
         manager = self.server.manager
@@ -316,10 +360,12 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, {"cancelled": manager.cancel(parts[1])})
         elif parts == ["workers", "register"]:
             request = RegisterRequest.from_dict(body)
-            self._send_json(200, manager.register_worker(request.name))
+            self._send_json(
+                200, manager.register_worker(request.name, request.worker_id)
+            )
         elif parts == ["leases"]:
             request = LeaseRequest.from_dict(body)
-            grant = manager.lease(request.worker_id)
+            grant = manager.lease(request.worker_id, epoch=request.epoch)
             if grant is None:
                 self._send_json(
                     200,
@@ -341,6 +387,12 @@ class _Handler(BaseHTTPRequestHandler):
                     if request.progress is not None
                     else None
                 ),
+                epoch=request.epoch,
+                reclaim=(
+                    (request.reclaim_campaign_id, request.reclaim_key)
+                    if request.reclaim_key
+                    else None
+                ),
             )
             # 410 Gone tells the worker its lease is lost (expired or the
             # manager restarted); the worker keeps computing and still
@@ -357,7 +409,12 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(
                 200,
                 manager.fail(
-                    request.campaign_id, request.key, request.error, request.worker_id
+                    request.campaign_id,
+                    request.key,
+                    request.error,
+                    request.worker_id,
+                    epoch=request.epoch,
+                    attempt=request.attempt,
                 ),
             )
         elif _is_get_route(parts):
@@ -375,6 +432,7 @@ def _is_get_route(parts: list[str]) -> bool:
         in (
             ["healthz"], ["metrics"], ["incidents"], ["events"],
             ["events", "log"], ["timeseries"], ["dash"], ["dash", "data"],
+            ["replication", "state"], ["replication", "result"],
         )
         or (len(parts) == 2 and parts[0] == "campaigns")
         or (len(parts) == 3 and parts[0] == "campaigns" and parts[2] == "result")
@@ -482,3 +540,9 @@ class ManagerServer:
                 self.manager.tick()
             except ServiceError:
                 break  # manager shut down under us; sweeping is over
+            except Exception:  # pragma: no cover - defensive
+                # A transient fault surfacing through tick (a half-closed
+                # telemetry socket, a filesystem hiccup) must not kill
+                # this thread: a dead sweeper means leases held by
+                # crashed workers never expire again.
+                continue

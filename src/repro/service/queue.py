@@ -136,8 +136,19 @@ class LeaseQueue:
 
         Returns ``(lease, payload)`` or None when nothing is ready (all
         shards terminal, leased, or still backing off).
+
+        Acquire is **idempotent per worker**: a worker already holding a
+        live lease gets that same lease back instead of a second shard.
+        A duplicated acquire request (at-least-once delivery through a
+        faulty network) therefore cannot strand an orphan lease that
+        would later expire as a phantom failure.
         """
         now = self.clock()
+        for lease in self._leases.values():
+            if lease.worker_id == worker_id and lease.expires_at > now:
+                held = self._shards.get(lease.key)
+                if held is not None and held.phase is ShardPhase.LEASED:
+                    return lease, held.payload
         for shard in self._shards.values():
             if shard.phase is not ShardPhase.PENDING or shard.ready_at > now:
                 continue
@@ -176,6 +187,49 @@ class LeaseQueue:
         if shard is not None and shard.lease is not None and shard.lease.lease_id == lease_id:
             shard.lease = renewed
         return renewed
+
+    def reclaim(self, key: str, worker_id: str, lease_id: str = "") -> Lease | None:
+        """Re-establish a lease on a *pending* shard for a worker whose
+        previous lease vanished with a dead or restarted manager.
+
+        The failover path: a promoted standby (or a restarted leader)
+        forgot all leases — they are soft state — so a worker mid-shard
+        renews against it, carrying (campaign, key).  Re-leasing the
+        shard to that worker keeps it from being handed to someone else,
+        which is what makes an in-flight shard survive a failover with
+        zero re-execution.  ``lease_id`` is honoured when free so the
+        worker's heartbeat can keep its id across the failover.
+
+        Returns the (re)established lease, the worker's *existing* live
+        lease when it already holds this shard (idempotent), or None
+        when the shard is not reclaimable (leased by someone else,
+        terminal, or unknown).  Backoff (``ready_at``) is deliberately
+        ignored: the reclaiming worker is alive and holds partial work.
+        """
+        shard = self._shards.get(key)
+        if shard is None:
+            return None
+        if shard.phase is ShardPhase.LEASED:
+            lease = shard.lease
+            if lease is not None and lease.worker_id == worker_id:
+                return self.renew(lease.lease_id, worker_id)
+            return None
+        if shard.phase is not ShardPhase.PENDING:
+            return None
+        self._lease_seq += 1
+        if not lease_id or lease_id in self._leases:
+            lease_id = f"L{self._lease_seq}"
+        lease = Lease(
+            lease_id=lease_id,
+            key=shard.key,
+            worker_id=worker_id,
+            attempt=shard.failures + 1,
+            expires_at=self.clock() + self.policy.shard_deadline_s,
+        )
+        shard.phase = ShardPhase.LEASED
+        shard.lease = lease
+        self._leases[lease.lease_id] = lease
+        return lease
 
     def expire(self) -> list[ExpiredLease]:
         """Sweep expired leases: requeue with backoff or quarantine.

@@ -64,6 +64,15 @@ def _opt_int(data: dict, name: str, what: str) -> int | None:
     return value
 
 
+def _epoch_field(data: dict, what: str) -> int:
+    """The optional fencing ``epoch`` stamp (0 = unstamped, accepted for
+    pre-HA workers; the manager only fences stamped requests)."""
+    value = data.get("epoch", 0)
+    if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+        raise SchemaError(f"{what}: 'epoch' must be a non-negative integer, got {value!r}")
+    return value
+
+
 @dataclass(frozen=True)
 class CampaignSpec:
     """What to sweep: the submit body and the journaled campaign recipe.
@@ -176,19 +185,29 @@ class CampaignSpec:
 
 @dataclass(frozen=True)
 class RegisterRequest:
-    """``POST /workers/register`` body."""
+    """``POST /workers/register`` body.
+
+    ``worker_id`` makes re-registration idempotent: a worker failing over
+    to a promoted leader (or retrying a duplicated register) asks to keep
+    the id it already holds, so its in-flight lease reclaim and its
+    completions keep their attribution across the failover.
+    """
 
     name: str = ""
+    worker_id: str = ""
 
     @classmethod
     def from_dict(cls, data: object) -> "RegisterRequest":
         what = "register request"
         data = _require_dict(data, what)
-        _reject_unknown(data, {"name"}, what)
+        _reject_unknown(data, {"name", "worker_id"}, what)
         name = data.get("name", "")
+        worker_id = data.get("worker_id", "")
         if not isinstance(name, str):
             raise SchemaError(f"{what}: 'name' must be a string")
-        return cls(name=name)
+        if not isinstance(worker_id, str):
+            raise SchemaError(f"{what}: 'worker_id' must be a string")
+        return cls(name=name, worker_id=worker_id)
 
 
 @dataclass(frozen=True)
@@ -196,13 +215,17 @@ class LeaseRequest:
     """``POST /leases`` (acquire) body."""
 
     worker_id: str
+    epoch: int = 0
 
     @classmethod
     def from_dict(cls, data: object) -> "LeaseRequest":
         what = "lease request"
         data = _require_dict(data, what)
-        _reject_unknown(data, {"worker_id"}, what)
-        return cls(worker_id=_str_field(data, "worker_id", what))
+        _reject_unknown(data, {"worker_id", "epoch"}, what)
+        return cls(
+            worker_id=_str_field(data, "worker_id", what),
+            epoch=_epoch_field(data, what),
+        )
 
 
 @dataclass(frozen=True)
@@ -245,25 +268,45 @@ class ShardProgress:
 
 @dataclass(frozen=True)
 class RenewRequest:
-    """``POST /leases/<id>/renew`` body (progress is optional)."""
+    """``POST /leases/<id>/renew`` body (progress is optional).
+
+    ``reclaim`` carries ``{campaign_id, key}`` of the shard the worker is
+    executing.  A manager that does not know the lease (promoted standby,
+    restarted leader — leases are soft state) re-establishes it on that
+    shard instead of answering 410, which is what lets an in-flight shard
+    survive a failover without re-execution.
+    """
 
     worker_id: str
     progress: ShardProgress | None = None
+    epoch: int = 0
+    reclaim_campaign_id: str = ""
+    reclaim_key: str = ""
 
     @classmethod
     def from_dict(cls, data: object) -> "RenewRequest":
         what = "renew request"
         data = _require_dict(data, what)
-        _reject_unknown(data, {"worker_id", "progress"}, what)
+        _reject_unknown(data, {"worker_id", "progress", "epoch", "reclaim"}, what)
         progress_data = data.get("progress")
         progress = (
             ShardProgress.from_dict(progress_data)
             if progress_data is not None
             else None
         )
+        reclaim = data.get("reclaim")
+        reclaim_campaign_id = reclaim_key = ""
+        if reclaim is not None:
+            reclaim = _require_dict(reclaim, f"{what}: 'reclaim'")
+            _reject_unknown(reclaim, {"campaign_id", "key"}, f"{what}: 'reclaim'")
+            reclaim_campaign_id = _str_field(reclaim, "campaign_id", f"{what}: 'reclaim'")
+            reclaim_key = _str_field(reclaim, "key", f"{what}: 'reclaim'")
         return cls(
             worker_id=_str_field(data, "worker_id", what),
             progress=progress,
+            epoch=_epoch_field(data, what),
+            reclaim_campaign_id=reclaim_campaign_id,
+            reclaim_key=reclaim_key,
         )
 
 
@@ -281,12 +324,15 @@ class CompleteRequest:
     key: str
     worker_id: str
     outcome: dict
+    epoch: int = 0
 
     @classmethod
     def from_dict(cls, data: object) -> "CompleteRequest":
         what = "complete request"
         data = _require_dict(data, what)
-        _reject_unknown(data, {"campaign_id", "key", "worker_id", "outcome"}, what)
+        _reject_unknown(
+            data, {"campaign_id", "key", "worker_id", "outcome", "epoch"}, what
+        )
         outcome = data.get("outcome")
         outcome = _require_dict(outcome, f"{what}: 'outcome'")
         if "summary" not in outcome and not outcome.get("failed"):
@@ -301,26 +347,41 @@ class CompleteRequest:
             key=_str_field(data, "key", what),
             worker_id=_str_field(data, "worker_id", what),
             outcome=outcome,
+            epoch=_epoch_field(data, what),
         )
 
 
 @dataclass(frozen=True)
 class FailRequest:
-    """``POST /shards/fail`` body (worker-reported permanent failure)."""
+    """``POST /shards/fail`` body (worker-reported permanent failure).
+
+    ``attempt`` (the lease's attempt number, 0 = unstamped) lets the
+    manager dedupe a duplicated fail delivery: the same worker reporting
+    the same attempt twice burns one unit of quarantine budget, not two.
+    """
 
     campaign_id: str
     key: str
     worker_id: str
     error: str
+    epoch: int = 0
+    attempt: int = 0
 
     @classmethod
     def from_dict(cls, data: object) -> "FailRequest":
         what = "fail request"
         data = _require_dict(data, what)
-        _reject_unknown(data, {"campaign_id", "key", "worker_id", "error"}, what)
+        _reject_unknown(
+            data, {"campaign_id", "key", "worker_id", "error", "epoch", "attempt"}, what
+        )
+        attempt = data.get("attempt", 0)
+        if isinstance(attempt, bool) or not isinstance(attempt, int) or attempt < 0:
+            raise SchemaError(f"{what}: 'attempt' must be a non-negative integer")
         return cls(
             campaign_id=_str_field(data, "campaign_id", what),
             key=_str_field(data, "key", what),
             worker_id=_str_field(data, "worker_id", what),
             error=_str_field(data, "error", what),
+            epoch=_epoch_field(data, what),
+            attempt=attempt,
         )

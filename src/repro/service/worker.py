@@ -45,29 +45,93 @@ from repro.uarch.machine import CheckpointStore
 _SCALES = {"smoke": SMOKE, "paper": PAPER}
 
 
+def http_exchange(url: str, method: str, data, timeout_s: float) -> tuple[int, bytes]:
+    """One raw HTTP exchange (the default transport).
+
+    HTTP error statuses are returned, not raised; connection-level
+    failures propagate as ``URLError``/``OSError`` for the client's
+    retry loop.  Pluggable: drills swap this for a
+    :class:`repro.chaos.net.FaultyTransport` with the same signature.
+    """
+    request = urllib.request.Request(
+        url,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
 class ManagerClient:
     """Tiny JSON-over-HTTP client for the manager (stdlib urllib).
 
     HTTP error statuses are *answers*, not failures — they are returned
-    as ``(status, payload)`` like any other response.  Connection-level
-    failures (manager down or mid-restart) are retried ``retries`` times
-    with ``retry_delay_s`` between attempts, then raise
-    :class:`~repro.errors.ServiceError`.
+    as ``(status, payload)`` like any other response, with two
+    exceptions treated as transport-level and retried in place:
+
+    * **HTTP 502** — a mid-path mangle (the fault injector's proxy
+      failure); deliberately *not* 503, which the manager answers during
+      genuine graceful shutdown and must keep reaching the caller so
+      workers drain instead of hammering a dying leader;
+    * an **undecodable 200 body** — a truncated response; the request is
+      re-sent (every service endpoint is idempotent, so a duplicate
+      delivery is harmless and better than acting on half an answer).
+
+    ``base_url`` accepts a single URL or an **ordered endpoint list**
+    ``[leader, standby, ...]``: connection-level failures rotate to the
+    next endpoint before retrying, which is the whole client side of
+    manager failover.  Retry sleeps use PR 9's
+    :class:`~repro.experiments.runner.RetryPolicy` — capped exponential
+    backoff with sha256-keyed jitter (keyed by endpoint + path, so a
+    fleet of workers does not hammer a recovering manager in lockstep).
+    ``retry_delay_s`` is kept as the backoff base for back-compat.
     """
 
     def __init__(
         self,
-        base_url: str,
+        base_url: str | list[str] | tuple[str, ...],
         retries: int = 40,
         retry_delay_s: float = 0.25,
         timeout_s: float = 10.0,
         sleep_fn=time.sleep,
+        transport=None,
+        backoff: RetryPolicy | None = None,
     ) -> None:
-        self.base_url = base_url.rstrip("/")
+        urls = [base_url] if isinstance(base_url, str) else list(base_url)
+        if not urls:
+            raise ServiceError("ManagerClient needs at least one endpoint")
+        self.endpoints = [u.rstrip("/") for u in urls]
+        self._active = 0
         self.retries = retries
         self.retry_delay_s = retry_delay_s
         self.timeout_s = timeout_s
         self.sleep_fn = sleep_fn
+        self.transport = transport if transport is not None else http_exchange
+        self.backoff = backoff or RetryPolicy(
+            timeout_s=None,
+            max_retries=retries,
+            backoff_base_s=retry_delay_s,
+            backoff_factor=1.5,
+            backoff_max_s=max(4.0 * retry_delay_s, 1.0),
+            jitter=0.5,
+        )
+        self.failovers = 0
+
+    @property
+    def base_url(self) -> str:
+        """The endpoint currently in use."""
+        return self.endpoints[self._active]
+
+    def rotate(self) -> str:
+        """Move to the next endpoint (failover); returns the new one."""
+        if len(self.endpoints) > 1:
+            self._active = (self._active + 1) % len(self.endpoints)
+            self.failovers += 1
+        return self.base_url
 
     def get(self, path: str) -> tuple[int, dict]:
         return self._request("GET", path, None)
@@ -88,33 +152,48 @@ class ManagerClient:
         data = json.dumps(body).encode() if body is not None else None
         last_error: Exception | None = None
         for attempt in range(self.retries + 1):
-            request = urllib.request.Request(
-                self.base_url + path,
-                data=data,
-                method=method,
-                headers={"Content-Type": "application/json"},
-            )
+            url = self.base_url + path
             try:
-                with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
-                    return resp.status, _decode(resp.read())
-            except urllib.error.HTTPError as exc:
-                return exc.code, _decode(exc.read())
+                status, raw = self.transport(url, method, data, self.timeout_s)
             except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as exc:
                 last_error = exc
-                if attempt < self.retries:
-                    self.sleep_fn(self.retry_delay_s)
+                self.rotate()
+                self._backoff(attempt, path)
+                continue
+            if status == 502:
+                last_error = ServiceError(f"HTTP 502 from {url}")
+                self._backoff(attempt, path)
+                continue
+            payload, intact = _decode(raw)
+            if status == 200 and not intact:
+                last_error = ServiceError(f"undecodable response body from {url}")
+                self._backoff(attempt, path)
+                continue
+            return status, payload
         raise ServiceError(
-            f"manager at {self.base_url} unreachable after "
+            f"manager at {', '.join(self.endpoints)} unreachable after "
             f"{self.retries + 1} attempt(s): {last_error}"
         )
 
+    def _backoff(self, attempt: int, path: str) -> None:
+        if attempt < self.retries:
+            self.sleep_fn(
+                self.backoff.backoff(attempt + 1, key=f"{self.base_url}{path}")
+            )
 
-def _decode(raw: bytes) -> dict:
+
+def _decode(raw: bytes) -> tuple[dict, bool]:
+    """``(payload, intact)`` — ``intact`` is False for a non-empty body
+    that does not parse to a JSON object (truncated in flight)."""
+    if not raw:
+        return {}, True
     try:
-        payload = json.loads(raw) if raw else {}
+        payload = json.loads(raw)
     except json.JSONDecodeError:
-        return {}
-    return payload if isinstance(payload, dict) else {}
+        return {}, False
+    if not isinstance(payload, dict):
+        return {}, False
+    return payload, True
 
 
 class _ProgressTracker:
@@ -148,6 +227,14 @@ class _ProgressTracker:
             }
 
 
+class WorkerVanished(ServiceError):
+    """An in-process worker was chaos-killed (the thread analog of
+    SIGKILL): it abandons its lease silently — no heartbeat, no fail
+    report, no delivery — and the manager must recover via lease expiry.
+    Raised out of :meth:`WorkerAgent.run`; the drill harness catches it.
+    """
+
+
 @dataclass
 class WorkerChaos:
     """Fault injection for drills: die or wedge after the Nth lease.
@@ -157,16 +244,24 @@ class WorkerChaos:
     manager sees a silent death and must recover via lease expiry.
     ``hang_after_leases=N`` wedges the worker instead (lease held, no
     renewal, no progress): the expiry path again, but with a live corpse.
+    ``vanish_after_leases=N`` is the in-process analog of the kill: it
+    raises :class:`WorkerVanished` instead of signalling, for drills
+    that run workers as threads rather than subprocesses.
     """
 
     kill_after_leases: int = 0
     hang_after_leases: int = 0
+    vanish_after_leases: int = 0
     leases_granted: int = 0
 
     def on_lease(self) -> None:
         self.leases_granted += 1
         if self.kill_after_leases and self.leases_granted >= self.kill_after_leases:
             os.kill(os.getpid(), signal.SIGKILL)
+        if self.vanish_after_leases and self.leases_granted >= self.vanish_after_leases:
+            raise WorkerVanished(
+                f"worker chaos-vanished at lease {self.leases_granted}"
+            )
         if self.hang_after_leases and self.leases_granted >= self.hang_after_leases:
             while True:  # pragma: no cover - only ever exited by SIGKILL
                 time.sleep(3600)
@@ -212,26 +307,78 @@ class WorkerAgent:
         self.stop_event = stop_event if stop_event is not None else threading.Event()
         self.worker_id = ""
         self.renew_every_s = 1.0
+        #: The fencing epoch of the leader we last registered against;
+        #: stamped on every lease/renew/complete/fail so a stale leader
+        #: (or our own staleness after a promotion) is detected, never
+        #: silently merged.
+        self.epoch = 0
         self.progress = _ProgressTracker()
         self.shards_done = 0
         self.shards_failed = 0
         self.leases_lost = 0
+        self.reregistrations = 0
         self.manager_lost = False
 
     def stop(self) -> None:
         self.stop_event.set()
 
+    def _register(self) -> None:
+        """(Re-)register, keeping our worker_id when we have one.
+
+        A registration answered with a *lower* epoch than we already
+        hold comes from a revived stale leader: never step the epoch
+        down — rotate to the next endpoint and try again instead.
+        """
+        for _ in range(max(4, 2 * len(self.client.endpoints))):
+            status, registration = self.client.post(
+                "/workers/register",
+                {"name": self.name, "worker_id": self.worker_id},
+            )
+            if status != 200:
+                if self.stop_event.wait(self.poll_interval_s):
+                    raise ServiceError("worker stopped while registering")
+                continue
+            epoch = int(registration.get("epoch", 0))
+            if self.epoch and epoch and epoch < self.epoch:
+                self.client.rotate()
+                continue
+            if self.worker_id:
+                self.reregistrations += 1
+            self.worker_id = registration["worker_id"]
+            self.renew_every_s = float(registration.get("renew_every_s", 1.0))
+            self.epoch = epoch or self.epoch
+            return
+        raise ServiceError(
+            f"could not register against any of {self.client.endpoints} "
+            f"at epoch >= {self.epoch}"
+        )
+
+    def _post_write(self, path: str, body: dict) -> tuple[int, dict]:
+        """POST a write stamped with our epoch, absorbing one fencing
+        round-trip: fenced by a *newer* epoch means a failover happened
+        under us — re-register (adopting the new epoch) and retry;
+        fenced by an *older* one means a stale leader answered — rotate
+        endpoints and retry.  Second fence in a row is returned as-is.
+        """
+        body = dict(body, epoch=self.epoch)
+        status, response = self.client.post(path, body)
+        if status == 409 and response.get("fenced"):
+            theirs = int(response.get("epoch", 0))
+            if theirs > self.epoch:
+                self._register()
+            else:
+                self.client.rotate()
+            body["epoch"] = self.epoch
+            status, response = self.client.post(path, body)
+        return status, response
+
     def run(self) -> dict:
         """The agent main loop; returns run stats when it exits."""
-        _, registration = self.client.post(
-            "/workers/register", {"name": self.name}
-        )
-        self.worker_id = registration["worker_id"]
-        self.renew_every_s = float(registration.get("renew_every_s", 1.0))
+        self._register()
         idle_since: float | None = None
         while not self.stop_event.is_set():
             try:
-                status, response = self.client.post(
+                status, response = self._post_write(
                     "/leases", {"worker_id": self.worker_id}
                 )
             except ServiceError:
@@ -289,7 +436,7 @@ class WorkerAgent:
         lease_lost = threading.Event()
         beat = threading.Thread(
             target=self._heartbeat,
-            args=(grant["lease_id"], heartbeat_done, lease_lost),
+            args=(grant, heartbeat_done, lease_lost),
             name=f"heartbeat-{grant['lease_id']}",
             daemon=True,
         )
@@ -300,13 +447,14 @@ class WorkerAgent:
             heartbeat_done.set()
             beat.join(timeout=2.0)
             self.shards_failed += 1
-            self.client.post(
+            self._post_write(
                 "/shards/fail",
                 {
                     "campaign_id": grant["campaign_id"],
                     "key": grant["key"],
                     "worker_id": self.worker_id,
                     "error": f"worker-side crash: {exc}",
+                    "attempt": int(grant.get("attempt", 0)),
                 },
             )
             return
@@ -314,7 +462,7 @@ class WorkerAgent:
         beat.join(timeout=2.0)
         if lease_lost.is_set():
             self.leases_lost += 1
-        status, response = self.client.post(
+        status, response = self._post_write(
             "/shards/complete",
             {
                 "campaign_id": grant["campaign_id"],
@@ -389,15 +537,29 @@ class WorkerAgent:
         return outcome
 
     def _heartbeat(
-        self, lease_id: str, done: threading.Event, lost: threading.Event
+        self, grant: dict, done: threading.Event, lost: threading.Event
     ) -> None:
+        """Renew the lease until the shard finishes.
+
+        Every renew carries ``reclaim={campaign_id, key}``: a manager
+        that does not know the lease — a promoted standby or a restarted
+        leader, which forgot all soft-state leases — re-establishes it
+        on our shard instead of answering 410, so in-flight work
+        survives the failover under its original worker (and may come
+        back under a fresh lease id, which we adopt).
+        """
+        lease_id = grant["lease_id"]
         while not done.wait(self.renew_every_s):
             try:
-                status, _ = self.client.post(
+                status, response = self._post_write(
                     f"/leases/{lease_id}/renew",
                     {
                         "worker_id": self.worker_id,
                         "progress": self.progress.snapshot(),
+                        "reclaim": {
+                            "campaign_id": grant["campaign_id"],
+                            "key": grant["key"],
+                        },
                     },
                 )
             except ServiceError:
@@ -409,3 +571,6 @@ class WorkerAgent:
             if status != 200:
                 lost.set()
                 return
+            renewed_id = response.get("lease_id")
+            if renewed_id and renewed_id != lease_id:
+                lease_id = renewed_id  # lease reclaimed after a failover
